@@ -1,0 +1,79 @@
+// Command datagen generates the synthetic datasets that substitute the
+// paper's proprietary sources (NYT archive, Twitter, RSS feeds) and writes
+// them as JSONL for replay by cmd/enblogue.
+//
+// Usage:
+//
+//	datagen -kind archive -days 30 -rate 200 -events -out archive.jsonl
+//	datagen -kind tweets -hours 48 -out tweets.jsonl
+//	datagen -kind feed   -hours 48 -out feed.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enblogue/internal/source"
+)
+
+func main() {
+	kind := flag.String("kind", "archive", "dataset kind: archive, tweets, or feed")
+	out := flag.String("out", "-", "output file ('-' for stdout)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	days := flag.Int("days", 30, "archive: period in days")
+	rate := flag.Int("rate", 200, "archive: documents per day")
+	hours := flag.Int("hours", 48, "tweets/feed: span in hours")
+	tpm := flag.Float64("tpm", 20, "tweets: tweets per minute")
+	events := flag.Bool("events", true, "inject the scripted ground-truth events")
+	flag.Parse()
+
+	var docs []source.Document
+	switch *kind {
+	case "archive":
+		start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
+		cfg := source.ArchiveConfig{
+			Seed: *seed, Start: start, Days: *days, DocsPerDay: *rate,
+		}
+		if *events {
+			cfg.Events = source.HistoricEvents(start)
+		}
+		docs = source.GenerateArchive(cfg)
+	case "tweets":
+		span := time.Duration(*hours) * time.Hour
+		cfg := source.TweetConfig{
+			Seed: *seed, Span: span, TweetsPerMinute: *tpm,
+		}
+		if *events {
+			cfg.Happenings = source.SIGMODAthensScenario(span)
+		}
+		docs = source.GenerateTweets(cfg)
+	case "feed":
+		span := time.Duration(*hours) * time.Hour
+		cfg := source.FeedConfig{Seed: *seed, Span: span}
+		if *events {
+			cfg.Happenings = source.SIGMODAthensScenario(span)
+		}
+		docs = source.GenerateFeed(cfg)
+	default:
+		fmt.Fprintf(os.Stderr, "datagen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := source.WriteJSONL(w, docs); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "datagen: wrote %d documents\n", len(docs))
+}

@@ -1,0 +1,78 @@
+// Command enblogue-server runs the live demo: a simulated Web 2.0 stream is
+// replayed in time lapse through the engine while rankings are pushed to
+// browsers over Server-Sent Events — the paper's APE-based front-end on
+// stdlib HTTP.
+//
+// Usage:
+//
+//	enblogue-server -addr :8080 -speedup 600
+//
+// then open http://localhost:8080/ (the page updates without polling).
+// Register a personalization profile with:
+//
+//	curl -X POST localhost:8080/profile -d '{"name":"me","keywords":["volcano"]}'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/history"
+	"enblogue/internal/server"
+	"enblogue/internal/source"
+	"enblogue/internal/stream"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	speedup := flag.Float64("speedup", 600, "time-lapse factor (event time / wall time)")
+	flag.Parse()
+
+	span := 48 * time.Hour
+	docs := source.Merge(
+		source.GenerateTweets(source.TweetConfig{
+			Seed: 7, Span: span, TweetsPerMinute: 20,
+			Happenings: source.SIGMODAthensScenario(span),
+		}),
+		source.GenerateFeed(source.FeedConfig{
+			Seed: 8, Span: span, Happenings: source.SIGMODAthensScenario(span),
+		}),
+	)
+
+	srv := server.New()
+	srv.AttachHistory(history.New(10000))
+	engine := core.New(core.Config{
+		WindowBuckets:    24,
+		WindowResolution: time.Hour,
+		TickEvery:        time.Hour,
+		SeedCount:        30,
+		MinCooccurrence:  3,
+		TopK:             10,
+		UpOnly:           true,
+		OnRanking:        srv.PublishRanking,
+	})
+
+	go func() {
+		replayer := &source.Replayer{Docs: docs, Speedup: *speedup, MaxSleep: 2 * time.Second}
+		if err := replayer.Run(context.Background(), func(it *stream.Item) {
+			engine.Consume(it)
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "enblogue-server: replay: %v\n", err)
+			return
+		}
+		engine.Flush()
+		fmt.Println("enblogue-server: replay finished; final ranking stays live")
+	}()
+
+	fmt.Printf("enblogue-server: %d docs looping at %.0fx; listening on %s\n",
+		len(docs), *speedup, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintf(os.Stderr, "enblogue-server: %v\n", err)
+		os.Exit(1)
+	}
+}

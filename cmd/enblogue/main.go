@@ -1,0 +1,121 @@
+// Command enblogue replays a JSONL dataset (or a built-in scenario) through
+// the emergent-topic engine and prints each evaluation tick's top-k — the
+// command-line twin of the paper's time-lapse demo.
+//
+// Usage:
+//
+//	enblogue -in archive.jsonl -topk 10
+//	enblogue -scenario tweets -measure cosine -predictor holt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/pairs"
+	"enblogue/internal/predict"
+	"enblogue/internal/source"
+)
+
+func main() {
+	in := flag.String("in", "", "JSONL dataset to replay (empty: use -scenario)")
+	scenario := flag.String("scenario", "tweets", "built-in scenario when -in is empty: tweets or archive")
+	measure := flag.String("measure", "jaccard", "correlation measure (jaccard, dice, cosine, npmi, overlap, confidence)")
+	predictor := flag.String("predictor", "ma", "predictor (naive, ma, ewma, holt, ols, ar1)")
+	topk := flag.Int("topk", 10, "ranking length")
+	seeds := flag.Int("seeds", 40, "seed tag count")
+	windowH := flag.Int("window", 24, "sliding window in hours")
+	tickH := flag.Int("tick", 1, "evaluation tick in hours")
+	halfLifeH := flag.Int("halflife", 48, "score half-life in hours")
+	upOnly := flag.Bool("up-only", true, "score only correlation increases")
+	quiet := flag.Bool("quiet", false, "print only the final ranking")
+	flag.Parse()
+
+	m, err := pairs.ParseMeasure(*measure)
+	if err != nil {
+		fatal(err)
+	}
+	p, err := predict.ParseKind(*predictor)
+	if err != nil {
+		fatal(err)
+	}
+
+	var docs []source.Document
+	switch {
+	case *in != "":
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		var skipped int
+		docs, skipped, err = source.ReadJSONL(f, false)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "enblogue: skipped %d malformed lines\n", skipped)
+		}
+		source.SortDocs(docs)
+	case *scenario == "tweets":
+		span := 48 * time.Hour
+		docs = source.GenerateTweets(source.TweetConfig{
+			Seed: 7, Span: span, TweetsPerMinute: 20,
+			Happenings: source.SIGMODAthensScenario(span),
+		})
+	case *scenario == "archive":
+		start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
+		docs = source.GenerateArchive(source.ArchiveConfig{
+			Seed: 42, Start: start, Days: 25, DocsPerDay: 240,
+			Events: source.HistoricEvents(start),
+		})
+	default:
+		fatal(fmt.Errorf("unknown scenario %q", *scenario))
+	}
+
+	cfg := core.Config{
+		WindowBuckets:    *windowH,
+		WindowResolution: time.Hour,
+		TickEvery:        time.Duration(*tickH) * time.Hour,
+		SeedCount:        *seeds,
+		Measure:          m,
+		Predictor:        p,
+		HalfLife:         time.Duration(*halfLifeH) * time.Hour,
+		TopK:             *topk,
+		UpOnly:           *upOnly,
+	}
+	if !*quiet {
+		cfg.OnRanking = printRanking
+	}
+	engine := core.New(cfg)
+	for i := range docs {
+		engine.Consume(docs[i].Item())
+	}
+	engine.Flush()
+
+	r := engine.CurrentRanking()
+	fmt.Printf("\nfinal ranking (%s, %d docs, %d active pairs):\n",
+		r.At.Format(time.RFC3339), engine.DocsProcessed(), engine.ActivePairs())
+	for i, t := range r.Topics {
+		fmt.Printf("  %2d. %-40s score=%.4f corr=%.3f cooc=%.0f\n",
+			i+1, t.Pair, t.Score, t.Correlation, t.Cooccurrence)
+	}
+}
+
+// printRanking logs non-empty ticks compactly.
+func printRanking(r core.Ranking) {
+	if len(r.Topics) == 0 {
+		return
+	}
+	top := r.Topics[0]
+	fmt.Printf("%s  top: %-36s score=%.4f  (%d topics)\n",
+		r.At.Format("Jan 02 15:04"), top.Pair, top.Score, len(r.Topics))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "enblogue: %v\n", err)
+	os.Exit(1)
+}

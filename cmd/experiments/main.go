@@ -1,0 +1,54 @@
+// Command experiments regenerates the paper's evaluation artifacts: Figure 1
+// and the three demonstration show cases, plus the baseline comparison,
+// throughput, ablation, and entity-tagging studies.
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -run F1,SC2  # run selected experiments
+//	experiments -list        # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"enblogue/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "all", "comma-separated experiment IDs, or 'all'")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var selected []experiments.Experiment
+	if *run == "all" || *run == "" {
+		selected = experiments.All
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown id %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	for _, e := range selected {
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s failed: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+// Package enblogue is a from-scratch Go reproduction of "EnBlogue —
+// Emergent Topic Detection in Web 2.0 Streams" (Alvanaki, Michel,
+// Ramamritham, Weikum; SIGMOD 2011).
+//
+// EnBlogue monitors streams of tagged documents (news, blogs, tweets) and
+// detects emergent topics: tag pairs whose correlation suddenly shifts in a
+// way that their own history cannot predict. The pipeline has three stages
+// — seed tag selection by sliding-window popularity, windowed co-occurrence
+// tracking for pairs containing a seed, and shift detection by one-step
+// prediction error with an exponentially decaying score maximum (half-life
+// ≈ 2 days).
+//
+// The implementation lives under internal/: the core engine in
+// internal/core, one package per substrate (stream DAG, windows, sketches,
+// tag statistics, pair correlation, prediction, shift scoring, ranking,
+// entity tagging, personalization, burst-detection baseline, data sources,
+// metrics, SSE server), runnable binaries under cmd/, and runnable
+// examples under examples/. The benchmarks in bench_test.go regenerate
+// every evaluation artifact of the paper; see DESIGN.md and EXPERIMENTS.md.
+package enblogue

@@ -1,0 +1,80 @@
+// Personalization reproduces show case 3: the same emergent-topic ranking
+// is viewed by three users — one neutral, one database researcher with a
+// continuous keyword query, one traveller with an exclusive interest filter
+// — and each sees "completely different or just differently ordered
+// emergent topics".
+//
+//	go run ./examples/personalization
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/persona"
+	"enblogue/internal/source"
+)
+
+func main() {
+	span := 48 * time.Hour
+	docs := source.GenerateTweets(source.TweetConfig{
+		Seed: 7, Span: span, TweetsPerMinute: 20,
+		Happenings: source.SIGMODAthensScenario(span),
+	})
+
+	// Capture the ranking at the surge's peak rather than stream end,
+	// where the demo's topics are hottest.
+	target := docs[0].Time.Add(span/2 + span/8)
+	var ranking core.Ranking
+	engine := core.New(core.Config{
+		WindowBuckets:    24,
+		WindowResolution: time.Hour,
+		SeedCount:        30,
+		SeedMinCount:     5,
+		MinCooccurrence:  3,
+		TopK:             10,
+		UpOnly:           true,
+		OnRanking: func(r core.Ranking) {
+			if !r.At.After(target) {
+				ranking = r
+			}
+		},
+	})
+	for i := range docs {
+		engine.Consume(docs[i].Item())
+	}
+	engine.Flush()
+
+	var topics []persona.Topic
+	for _, t := range ranking.Topics {
+		topics = append(topics, persona.Topic{Pair: t.Pair, Score: t.Score})
+	}
+
+	registry := persona.NewRegistry()
+	registry.Set(&persona.Profile{Name: "neutral"})
+	registry.Set(&persona.Profile{
+		Name:     "db-researcher",
+		Keywords: []string{"sigmod", "athens"},
+		Boost:    5,
+	})
+	registry.Set(&persona.Profile{
+		Name:      "traveller",
+		Keywords:  []string{"volcano", "air-traffic", "flight"},
+		Exclusive: true, // drop everything off-interest
+	})
+
+	views := registry.RerankAll(topics)
+	for _, name := range registry.Names() {
+		fmt.Printf("%s sees:\n", name)
+		for i, t := range views[name] {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %d. %-28s score=%.4f\n", i+1, t.Pair, t.Score)
+		}
+		fmt.Println()
+	}
+	fmt.Println("users can change preferences at any time; re-running RerankAll")
+	fmt.Println("against the next tick's topics updates every view instantly.")
+}

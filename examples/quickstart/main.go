@@ -1,0 +1,66 @@
+// Quickstart: feed a small document stream into the enBlogue engine and
+// print the emergent topics it finds.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/stream"
+)
+
+func main() {
+	// The engine consumes (timestamp, docId, tags) tuples and emits ranked
+	// emergent topics at every evaluation tick. Zero-value config fields
+	// take the paper's defaults (Jaccard, 2-day half-life, hourly ticks).
+	engine := core.New(core.Config{
+		WindowBuckets:    12,
+		WindowResolution: time.Hour,
+		SeedCount:        10,
+		SeedWarmupDocs:   20,
+		MinCooccurrence:  2,
+		TopK:             5,
+		UpOnly:           true,
+	})
+
+	start := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	id := 0
+	emit := func(hour int, minute int, tags ...string) {
+		id++
+		engine.Consume(&stream.Item{
+			Time:  start.Add(time.Duration(hour)*time.Hour + time.Duration(minute)*time.Minute),
+			DocID: fmt.Sprintf("doc-%04d", id),
+			Tags:  tags,
+		})
+	}
+
+	// Eight hours of steady news chatter: nothing emergent here.
+	for h := 0; h < 8; h++ {
+		for m := 0; m < 60; m += 5 {
+			emit(h, m, "news", "politics")
+			emit(h, m+2, "news", "sports")
+		}
+	}
+	// Hours 8-9: a volcano eruption suddenly couples "iceland" with
+	// "air-traffic" — the paper's running example. (Background continues,
+	// so popularity-based seed selection keeps operating.)
+	for h := 8; h < 10; h++ {
+		for m := 0; m < 60; m += 5 {
+			emit(h, m, "news", "politics")
+		}
+		for m := 0; m < 60; m += 6 {
+			emit(h, m, "news", "iceland", "air-traffic")
+		}
+	}
+	engine.Flush()
+
+	r := engine.CurrentRanking()
+	fmt.Printf("emergent topics at %s:\n", r.At.Format(time.Kitchen))
+	for i, topic := range r.Topics {
+		fmt.Printf("  %d. %-28s score=%.3f (co-occurring in %.0f docs)\n",
+			i+1, topic.Pair, topic.Score, topic.Cooccurrence)
+	}
+}

@@ -1,0 +1,318 @@
+// Package core wires the paper's three stages — seed tag selection,
+// correlation tracking, and shift detection — into the enBlogue engine: a
+// stream sink that consumes (timestamp, docId, tags, entities) tuples and
+// periodically emits ranked emergent topics.
+//
+// The engine is event-time driven: evaluation ticks fire as the stream's
+// timestamps pass tick boundaries, so archive replay ("time lapse on
+// archived data") and live consumption behave identically.
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"enblogue/internal/entity"
+	"enblogue/internal/pairs"
+	"enblogue/internal/predict"
+	"enblogue/internal/shift"
+	"enblogue/internal/stream"
+	"enblogue/internal/tagstats"
+)
+
+// Config parameterises an Engine. The zero value is usable: it yields the
+// paper's defaults (Jaccard correlation, moving-average prediction, 2-day
+// half-life, hourly ticks over a 48-hour window).
+type Config struct {
+	// WindowBuckets and WindowResolution define the sliding statistics
+	// window for tags and pairs. Defaults: 48 buckets × 1 hour.
+	WindowBuckets    int
+	WindowResolution time.Duration
+
+	// TickEvery is the evaluation period in event time. Zero means one
+	// window resolution (hourly by default).
+	TickEvery time.Duration
+
+	// SeedCount is the size of the seed tag set ("we choose seed tags to
+	// be popular tags"). Zero means 50.
+	SeedCount int
+	// SeedCriterion selects popularity (default), volatility, or hybrid.
+	SeedCriterion tagstats.Criterion
+	// SeedMinCount is the minimum windowed count for seed candidacy.
+	// Zero means 3.
+	SeedMinCount float64
+	// SeedWarmupDocs bootstraps the first seed selection after this many
+	// documents instead of waiting for the first tick. Zero means 100.
+	SeedWarmupDocs int
+
+	// MaxPairs caps tracked candidate pairs. Zero means 100000.
+	MaxPairs int
+
+	// Measure is the pair correlation measure. Default Jaccard.
+	Measure pairs.Measure
+	// DistributionMode switches correlation from set overlap to the
+	// paper's information-theoretic alternative: documents represented "by
+	// their entire tag sets", with pair correlation the Jensen–Shannon
+	// similarity of the two tags' co-tag usage distributions. Measure is
+	// ignored when set.
+	DistributionMode bool
+	// Predictor forecasts correlations; its error is the shift signal.
+	// Default moving average.
+	Predictor predict.Kind
+	// PredictorConfig tunes the predictor.
+	PredictorConfig predict.Config
+	// HalfLife dampens past errors. Zero means shift.DefaultHalfLife (2d).
+	HalfLife time.Duration
+	// MinCooccurrence is the significance floor for scoring. Zero means 2.
+	MinCooccurrence float64
+	// UpOnly restricts shifts to correlation increases.
+	UpOnly bool
+
+	// TopK is the ranking length. Zero means 20.
+	TopK int
+
+	// UseEntities merges entity tags into the tag space ("combined with
+	// regular tags to detect tag/entity mixtures as emergent topics").
+	UseEntities bool
+	// Tagger, when set together with UseEntities, annotates items that
+	// arrive with text but no entities.
+	Tagger *entity.Tagger
+
+	// OnRanking, when set, receives every tick's ranking.
+	OnRanking func(Ranking)
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowBuckets <= 0 {
+		c.WindowBuckets = 48
+	}
+	if c.WindowResolution <= 0 {
+		c.WindowResolution = time.Hour
+	}
+	if c.TickEvery <= 0 {
+		c.TickEvery = c.WindowResolution
+	}
+	if c.SeedCount <= 0 {
+		c.SeedCount = 50
+	}
+	if c.SeedMinCount <= 0 {
+		c.SeedMinCount = 3
+	}
+	if c.SeedWarmupDocs <= 0 {
+		c.SeedWarmupDocs = 100
+	}
+	if c.MaxPairs <= 0 {
+		c.MaxPairs = 100000
+	}
+	if c.HalfLife <= 0 {
+		c.HalfLife = shift.DefaultHalfLife
+	}
+	if c.MinCooccurrence <= 0 {
+		c.MinCooccurrence = 2
+	}
+	if c.TopK <= 0 {
+		c.TopK = 20
+	}
+	return c
+}
+
+// Ranking is one evaluation tick's output: the top-k emergent topics.
+type Ranking struct {
+	At     time.Time
+	Seeds  []string
+	Topics []shift.Topic
+}
+
+// IDs returns the ranked pair identifiers ("tag1+tag2"), best first.
+func (r Ranking) IDs() []string {
+	out := make([]string, len(r.Topics))
+	for i, t := range r.Topics {
+		out[i] = t.Pair.String()
+	}
+	return out
+}
+
+// Engine is the enBlogue core: it implements stream.Sink (and
+// stream.Flusher) and can therefore terminate any query plan.
+type Engine struct {
+	cfg Config
+
+	tags    *tagstats.Tracker
+	pairsTr *pairs.Tracker
+	dist    *pairs.DistTracker // non-nil in DistributionMode
+	det     *shift.Detector
+	seeds   *tagstats.SeedSelector
+
+	docs     int64
+	nextTick time.Time
+	lastSeen time.Time
+
+	mu   sync.Mutex
+	last Ranking
+}
+
+// New returns an engine with the given configuration.
+func New(cfg Config) *Engine {
+	c := cfg.withDefaults()
+	var dist *pairs.DistTracker
+	if c.DistributionMode {
+		dist = pairs.NewDistTracker(pairs.Config{
+			Buckets:    c.WindowBuckets,
+			Resolution: c.WindowResolution,
+		})
+	}
+	return &Engine{
+		dist: dist,
+		cfg:  c,
+		tags: tagstats.NewTracker(tagstats.Config{
+			Buckets:    c.WindowBuckets,
+			Resolution: c.WindowResolution,
+		}),
+		pairsTr: pairs.NewTracker(pairs.Config{
+			Buckets:    c.WindowBuckets,
+			Resolution: c.WindowResolution,
+			MaxPairs:   c.MaxPairs,
+		}),
+		det: shift.NewDetector(shift.Config{
+			Measure:         c.Measure,
+			Predictor:       c.Predictor,
+			PredictorConfig: c.PredictorConfig,
+			HalfLife:        c.HalfLife,
+			MinCooccurrence: c.MinCooccurrence,
+			UpOnly:          c.UpOnly,
+		}),
+		seeds: tagstats.NewSeedSelector(c.SeedCount, c.SeedCriterion, c.SeedMinCount),
+	}
+}
+
+// Config returns the effective engine configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// DocsProcessed returns the number of consumed documents.
+func (e *Engine) DocsProcessed() int64 { return e.docs }
+
+// ActivePairs returns the number of tracked candidate pairs.
+func (e *Engine) ActivePairs() int { return e.pairsTr.ActivePairs() }
+
+// Seeds returns the current seed tag set, best first.
+func (e *Engine) Seeds() []string { return e.seeds.Seeds() }
+
+// itemTags resolves the tag set the engine operates on for an item.
+func (e *Engine) itemTags(it *stream.Item) []string {
+	if !e.cfg.UseEntities {
+		return it.Tags
+	}
+	if e.cfg.Tagger != nil && len(it.Entities) == 0 && it.Text != "" {
+		it = it.Clone()
+		it.Entities = e.cfg.Tagger.Entities(it.Text)
+	}
+	return it.AllTags()
+}
+
+// Consume implements stream.Sink: it feeds one tuple through seed
+// statistics and pair tracking, firing evaluation ticks as event time
+// passes tick boundaries.
+func (e *Engine) Consume(it *stream.Item) {
+	if it == nil {
+		return
+	}
+	t := it.Time
+	if t.After(e.lastSeen) {
+		e.lastSeen = t
+	}
+
+	// Fire any ticks the stream has moved past. A pathological time jump
+	// (archive gap) fast-forwards rather than replaying empty ticks.
+	if e.nextTick.IsZero() {
+		e.nextTick = t.Add(e.cfg.TickEvery)
+	}
+	if gap := t.Sub(e.nextTick); gap > 100*e.cfg.TickEvery {
+		e.tick(e.nextTick)
+		e.nextTick = t.Add(e.cfg.TickEvery)
+	}
+	for !e.nextTick.After(t) {
+		e.tick(e.nextTick)
+		e.nextTick = e.nextTick.Add(e.cfg.TickEvery)
+	}
+
+	tags := e.itemTags(it)
+	e.tags.Observe(t, tags)
+	e.docs++
+
+	// Bootstrap the seed set once enough documents have arrived, so pair
+	// tracking starts before the first tick.
+	if len(e.seeds.Seeds()) == 0 && e.docs >= int64(e.cfg.SeedWarmupDocs) {
+		e.seeds.Reselect(e.tags)
+	}
+	e.pairsTr.Observe(t, tags, e.seeds.IsSeed)
+	if e.dist != nil {
+		e.dist.Observe(t, tags)
+	}
+}
+
+// Flush implements stream.Flusher: it runs a final evaluation tick at the
+// last observed event time.
+func (e *Engine) Flush() {
+	if !e.lastSeen.IsZero() {
+		e.tick(e.lastSeen)
+	}
+}
+
+// Tick forces an evaluation at time t (used by callers driving their own
+// tick schedule, e.g. benchmarks or the live server's wall-clock timer).
+func (e *Engine) Tick(t time.Time) Ranking { return e.tick(t) }
+
+// tick reselects seeds, evaluates every candidate pair, publishes the
+// ranking, and sweeps dead detector state.
+func (e *Engine) tick(t time.Time) Ranking {
+	seeds := e.seeds.Reselect(e.tags)
+
+	n := e.tags.DocCount()
+	keys := e.pairsTr.Keys()
+	topics := make([]shift.Topic, 0, len(keys))
+	keep := make(map[pairs.Key]bool, len(keys))
+	for _, k := range keys {
+		keep[k] = true
+		nab := e.pairsTr.Cooccurrence(k)
+		var topic shift.Topic
+		if e.dist != nil {
+			topic = e.det.EvaluateCorrelation(t, k, e.dist.Similarity(k.Tag1, k.Tag2), nab)
+		} else {
+			na := e.tags.Count(k.Tag1)
+			nb := e.tags.Count(k.Tag2)
+			topic = e.det.Evaluate(t, k, nab, na, nb, n)
+		}
+		if topic.Score > 0 {
+			topics = append(topics, topic)
+		}
+	}
+	sort.Slice(topics, func(i, j int) bool {
+		if topics[i].Score != topics[j].Score {
+			return topics[i].Score > topics[j].Score
+		}
+		return topics[i].Pair.String() < topics[j].Pair.String()
+	})
+	if len(topics) > e.cfg.TopK {
+		topics = topics[:e.cfg.TopK]
+	}
+
+	e.det.Sweep(t, keep, 1e-9)
+
+	r := Ranking{At: t, Seeds: seeds, Topics: topics}
+	e.mu.Lock()
+	e.last = r
+	e.mu.Unlock()
+	if e.cfg.OnRanking != nil {
+		e.cfg.OnRanking(r)
+	}
+	return r
+}
+
+// CurrentRanking returns the most recent ranking. Safe for concurrent use
+// with the consuming goroutine.
+func (e *Engine) CurrentRanking() Ranking {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last
+}

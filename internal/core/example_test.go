@@ -1,0 +1,55 @@
+package core_test
+
+import (
+	"fmt"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/stream"
+)
+
+func Example() {
+	engine := core.New(core.Config{
+		WindowBuckets:    12,
+		WindowResolution: time.Hour,
+		SeedCount:        10,
+		SeedWarmupDocs:   20,
+		MinCooccurrence:  2,
+		TopK:             3,
+		UpOnly:           true,
+	})
+
+	start := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	id := 0
+	emit := func(hour, minute int, tags ...string) {
+		id++
+		engine.Consume(&stream.Item{
+			Time:  start.Add(time.Duration(hour)*time.Hour + time.Duration(minute)*time.Minute),
+			DocID: fmt.Sprintf("doc-%04d", id),
+			Tags:  tags,
+		})
+	}
+
+	// Steady chatter, then "iceland" suddenly pairs with "air-traffic".
+	for h := 0; h < 8; h++ {
+		for m := 0; m < 60; m += 5 {
+			emit(h, m, "news", "politics")
+		}
+	}
+	for h := 8; h < 10; h++ {
+		for m := 0; m < 60; m += 5 {
+			emit(h, m, "news", "politics")
+		}
+		for m := 0; m < 60; m += 6 {
+			emit(h, m, "news", "iceland", "air-traffic")
+		}
+	}
+	engine.Flush()
+
+	top := engine.CurrentRanking().Topics[0]
+	fmt.Println("most emergent:", top.Pair)
+	fmt.Println("query:", core.KeywordQuery(engine.ExpandTopic(top.Pair, 1)))
+	// Output:
+	// most emergent: air-traffic+iceland
+	// query: air-traffic iceland news
+}

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"enblogue/internal/pairs"
+	"enblogue/internal/source"
+	"enblogue/internal/stream"
+)
+
+func TestExpandTopic(t *testing.T) {
+	e := New(testConfig())
+	// Documents where "iceland" and "volcano" co-occur, usually together
+	// with "ash-cloud", sometimes with "travel"; "tennis" is unrelated.
+	id := 0
+	emit := func(min int, tags ...string) {
+		id++
+		e.Consume(&stream.Item{
+			Time:  t0.Add(time.Duration(min) * time.Minute),
+			DocID: ids("x", &id),
+			Tags:  tags,
+		})
+	}
+	for i := 0; i < 30; i++ {
+		emit(i*2, "iceland", "volcano", "ash-cloud")
+		if i%3 == 0 {
+			emit(i*2+1, "iceland", "volcano", "travel")
+		}
+		emit(i*2+1, "tennis", "final")
+	}
+	k := pairs.MakeKey("iceland", "volcano")
+	set := e.ExpandTopic(k, 2)
+	want := []string{"iceland", "volcano", "ash-cloud", "travel"}
+	if !reflect.DeepEqual(set, want) {
+		t.Errorf("ExpandTopic = %v, want %v", set, want)
+	}
+	// maxExtra truncates by strength.
+	set = e.ExpandTopic(k, 1)
+	if !reflect.DeepEqual(set, []string{"iceland", "volcano", "ash-cloud"}) {
+		t.Errorf("ExpandTopic(1) = %v", set)
+	}
+	// Zero extras returns just the pair.
+	if got := e.ExpandTopic(k, 0); !reflect.DeepEqual(got, []string{"iceland", "volcano"}) {
+		t.Errorf("ExpandTopic(0) = %v", got)
+	}
+	// Unrelated tags never join the set.
+	for _, tag := range e.ExpandTopic(k, 10) {
+		if tag == "tennis" || tag == "final" {
+			t.Errorf("unrelated tag %q joined the topic set", tag)
+		}
+	}
+}
+
+func TestKeywordQuery(t *testing.T) {
+	tests := []struct {
+		in   []string
+		want string
+	}{
+		{[]string{"iceland", "volcano"}, "iceland volcano"},
+		{[]string{"barack obama", "election"}, `"barack obama" election`},
+		{[]string{"a", "", "b"}, "a b"},
+		{nil, ""},
+	}
+	for _, tc := range tests {
+		if got := KeywordQuery(tc.in); got != tc.want {
+			t.Errorf("KeywordQuery(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDistributionModeDetectsShift(t *testing.T) {
+	cfg := testConfig()
+	cfg.DistributionMode = true
+	cfg.UpOnly = false // distribution similarity shifts downward on change
+	e := New(cfg)
+
+	docs := background(t0, 10, 30)
+	// Event: "scandal" bursts into "politics" documents, instantly sharing
+	// politics' co-tag company ("news") — a jump in usage-distribution
+	// similarity from an implicit zero history.
+	id := 0
+	for h := 6; h < 9; h++ {
+		for i := 0; i < 12; i++ {
+			docs = append(docs, source.Document{
+				Time: t0.Add(time.Duration(h)*time.Hour + time.Duration(i*4)*time.Minute),
+				ID:   ids("d", &id),
+				Tags: []string{"news", "politics", "scandal"},
+			})
+		}
+	}
+	source.SortDocs(docs)
+	feedDocs(e, docs)
+
+	r := e.CurrentRanking()
+	if len(r.Topics) == 0 {
+		t.Fatal("distribution mode produced no topics")
+	}
+	found := false
+	for _, topic := range r.Topics {
+		if topic.Pair == pairs.MakeKey("politics", "scandal") {
+			found = true
+			if topic.Correlation < 0 || topic.Correlation > 1 {
+				t.Errorf("distribution correlation out of range: %v", topic.Correlation)
+			}
+		}
+	}
+	if !found {
+		t.Errorf("event pair missing from distribution-mode ranking: %+v", r.Topics)
+	}
+}
+
+func TestDistributionModeStableUsageScoresLow(t *testing.T) {
+	cfg := testConfig()
+	cfg.DistributionMode = true
+	e := New(cfg)
+	feedDocs(e, background(t0, 12, 30))
+	for _, topic := range e.CurrentRanking().Topics {
+		if topic.Score > 0.5 {
+			t.Errorf("stable distribution pair %v scored %v", topic.Pair, topic.Score)
+		}
+	}
+}

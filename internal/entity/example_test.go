@@ -1,0 +1,35 @@
+package entity_test
+
+import (
+	"fmt"
+
+	"enblogue/internal/entity"
+)
+
+func ExampleTagger() {
+	g, o := entity.Sample()
+	tagger := entity.NewTagger(g, o)
+
+	// Redirects map different namings to one unique entity name.
+	doc := "President Obama discussed the BP oil spill near the Gulf of Mexico"
+	fmt.Println(tagger.Entities(doc))
+
+	// The ontology filter focuses on particular entity types.
+	tagger.AllowTypes = []string{"location"}
+	fmt.Println(tagger.Entities(doc))
+	// Output:
+	// [barack obama deepwater horizon oil spill gulf of mexico]
+	// [gulf of mexico]
+}
+
+func ExampleGazetteer() {
+	g := entity.NewGazetteer()
+	g.Add("New York City", "city")
+	g.AddRedirect("NYC", "New York City")
+	g.AddRedirect("New York", "New York City")
+
+	e, _ := g.Lookup("nyc")
+	fmt.Println(e.Name, e.Types)
+	// Output:
+	// new york city [city]
+}

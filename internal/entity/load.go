@@ -1,0 +1,104 @@
+package entity
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// LoadGazetteerTSV reads gazetteer entries from a tab-separated stream, one
+// record per line:
+//
+//	title<TAB>type1,type2,...        canonical entity with its types
+//	alias<TAB>->title                redirect to a canonical title
+//
+// Blank lines and lines starting with '#' are skipped. Redirects may appear
+// before their targets: they are resolved in a second pass. This is the
+// production path for real Wikipedia title/redirect dumps; entity.Sample
+// provides built-in data for demos.
+func LoadGazetteerTSV(r io.Reader) (*Gazetteer, error) {
+	g := NewGazetteer()
+	type redirect struct {
+		alias, title string
+		line         int
+	}
+	var redirects []redirect
+
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := strings.TrimSpace(sc.Text())
+		if raw == "" || strings.HasPrefix(raw, "#") {
+			continue
+		}
+		parts := strings.SplitN(raw, "\t", 2)
+		title := strings.TrimSpace(parts[0])
+		rest := ""
+		if len(parts) == 2 {
+			rest = strings.TrimSpace(parts[1])
+		}
+		if strings.HasPrefix(rest, "->") {
+			redirects = append(redirects, redirect{
+				alias: title,
+				title: strings.TrimSpace(strings.TrimPrefix(rest, "->")),
+				line:  line,
+			})
+			continue
+		}
+		var types []string
+		if rest != "" {
+			for _, t := range strings.Split(rest, ",") {
+				if t = strings.TrimSpace(t); t != "" {
+					types = append(types, t)
+				}
+			}
+		}
+		if err := g.Add(title, types...); err != nil {
+			return nil, fmt.Errorf("entity: line %d: %w", line, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("entity: reading gazetteer: %w", err)
+	}
+	for _, rd := range redirects {
+		if err := g.AddRedirect(rd.alias, rd.title); err != nil {
+			return nil, fmt.Errorf("entity: line %d: %w", rd.line, err)
+		}
+	}
+	return g, nil
+}
+
+// LoadOntologyTSV reads subtype<TAB>supertype lines into an ontology. An
+// empty or missing supertype declares a root type. Blank lines and '#'
+// comments are skipped.
+func LoadOntologyTSV(r io.Reader) (*Ontology, error) {
+	o := NewOntology()
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Text()
+		if trimmed := strings.TrimSpace(raw); trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			continue
+		}
+		// Split before trimming so a tab-led line surfaces its empty type
+		// instead of silently shifting fields.
+		parts := strings.SplitN(raw, "\t", 2)
+		typ := strings.TrimSpace(parts[0])
+		super := ""
+		if len(parts) == 2 {
+			super = strings.TrimSpace(parts[1])
+		}
+		if typ == "" {
+			return nil, fmt.Errorf("entity: line %d: empty type", line)
+		}
+		o.AddType(typ, super)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("entity: reading ontology: %w", err)
+	}
+	return o, nil
+}

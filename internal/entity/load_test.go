@@ -1,0 +1,100 @@
+package entity
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadGazetteerTSV(t *testing.T) {
+	in := `# comment line
+
+Barack Obama	politician,person
+Obama	->Barack Obama
+President Obama	->  Barack Obama
+Iceland	country
+Plain Entity
+`
+	g, err := LoadGazetteerTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Errorf("Len = %d, want 3", g.Len())
+	}
+	if g.Redirects() != 2 {
+		t.Errorf("Redirects = %d, want 2", g.Redirects())
+	}
+	e, ok := g.Lookup("president obama")
+	if !ok || e.Name != "barack obama" {
+		t.Errorf("redirect lookup = %+v, %v", e, ok)
+	}
+	if e.Types[0] != "person" && e.Types[0] != "politician" {
+		t.Errorf("types = %v", e.Types)
+	}
+	if e, ok := g.Lookup("plain entity"); !ok || len(e.Types) != 0 {
+		t.Errorf("typeless entity = %+v, %v", e, ok)
+	}
+}
+
+func TestLoadGazetteerForwardRedirect(t *testing.T) {
+	// Redirect appears before its target: second pass resolves it.
+	in := "NYC\t->New York City\nNew York City\tcity\n"
+	g, err := LoadGazetteerTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e, ok := g.Lookup("nyc"); !ok || e.Name != "new york city" {
+		t.Errorf("forward redirect = %+v, %v", e, ok)
+	}
+}
+
+func TestLoadGazetteerErrors(t *testing.T) {
+	if _, err := LoadGazetteerTSV(strings.NewReader("...\ttype\n")); err == nil {
+		t.Error("token-less title accepted")
+	}
+	if _, err := LoadGazetteerTSV(strings.NewReader("Alias\t->Missing Target\n")); err == nil {
+		t.Error("dangling redirect accepted")
+	}
+}
+
+func TestLoadOntologyTSV(t *testing.T) {
+	in := `# class forest
+entity
+person	entity
+politician	person
+`
+	o, err := LoadOntologyTSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !o.IsA("politician", "entity") {
+		t.Error("transitive IsA failed after load")
+	}
+	if !o.Known("entity") {
+		t.Error("root type not registered")
+	}
+}
+
+func TestLoadOntologyErrors(t *testing.T) {
+	if _, err := LoadOntologyTSV(strings.NewReader("\tperson\n")); err == nil {
+		t.Error("empty type accepted")
+	}
+}
+
+func TestLoadedGazetteerDrivesTagger(t *testing.T) {
+	gz := "Gulf of Mexico\tlocation\nBP\t->British Petroleum\nBritish Petroleum\tcompany\n"
+	on := "entity\nlocation\tentity\ncompany\tentity\n"
+	g, err := LoadGazetteerTSV(strings.NewReader(gz))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := LoadOntologyTSV(strings.NewReader(on))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := NewTagger(g, o)
+	ents := tg.Entities("BP operations in the Gulf of Mexico resumed")
+	if len(ents) != 2 || ents[0] != "british petroleum" || ents[1] != "gulf of mexico" {
+		t.Errorf("Entities = %v", ents)
+	}
+}

@@ -1,0 +1,88 @@
+package entity
+
+// Sample returns a gazetteer and ontology populated with a realistic sample
+// of Wikipedia-style titles, redirects, and YAGO-style types. It backs the
+// runnable examples and the entity-tagging experiment; production use loads
+// real tables through the same Add/AddRedirect/AddType API.
+func Sample() (*Gazetteer, *Ontology) {
+	o := NewOntology()
+	// A small YAGO-like class forest.
+	for _, t := range [][2]string{
+		{"entity", ""},
+		{"person", "entity"},
+		{"politician", "person"},
+		{"artist", "person"},
+		{"athlete", "person"},
+		{"organization", "entity"},
+		{"company", "organization"},
+		{"political party", "organization"},
+		{"location", "entity"},
+		{"country", "location"},
+		{"city", "location"},
+		{"volcano", "location"},
+		{"event", "entity"},
+		{"disaster", "event"},
+		{"sports event", "event"},
+		{"conference", "event"},
+	} {
+		o.AddType(t[0], t[1])
+	}
+
+	g := NewGazetteer()
+	add := func(title string, types ...string) {
+		if err := g.Add(title, types...); err != nil {
+			panic(err) // sample data is static; failure is a bug
+		}
+	}
+	redirect := func(alias, title string) {
+		if err := g.AddRedirect(alias, title); err != nil {
+			panic(err)
+		}
+	}
+
+	// People.
+	add("Barack Obama", "politician")
+	redirect("Obama", "Barack Obama")
+	redirect("President Obama", "Barack Obama")
+	add("Angela Merkel", "politician")
+	redirect("Merkel", "Angela Merkel")
+	add("Lady Gaga", "artist")
+	add("Roger Federer", "athlete")
+	redirect("Federer", "Roger Federer")
+
+	// Organizations.
+	add("United Nations", "organization")
+	redirect("UN", "United Nations")
+	add("Democratic Party", "political party")
+	add("Republican Party", "political party")
+	add("British Petroleum", "company")
+	redirect("BP", "British Petroleum")
+
+	// Locations.
+	add("Iceland", "country")
+	add("Greece", "country")
+	add("United States", "country")
+	redirect("USA", "United States")
+	redirect("United States of America", "United States")
+	add("Athens", "city")
+	add("New York City", "city")
+	redirect("New York", "New York City")
+	redirect("NYC", "New York City")
+	add("New Orleans", "city")
+	add("Gulf of Mexico", "location")
+	add("Eyjafjallajökull", "volcano")
+	redirect("Eyjafjallajokull", "Eyjafjallajökull")
+	redirect("the Icelandic volcano", "Eyjafjallajökull")
+
+	// Events.
+	add("Hurricane Katrina", "disaster")
+	redirect("Katrina", "Hurricane Katrina")
+	add("Deepwater Horizon oil spill", "disaster")
+	redirect("BP oil spill", "Deepwater Horizon oil spill")
+	add("World Cup", "sports event")
+	redirect("FIFA World Cup", "World Cup")
+	add("Super Bowl", "sports event")
+	add("SIGMOD", "conference")
+
+	return g, o
+}

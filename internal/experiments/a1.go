@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/metrics"
+	"enblogue/internal/pairs"
+	"enblogue/internal/predict"
+)
+
+// A1Row is one ablation configuration's outcome on the SC1 workload.
+type A1Row struct {
+	Dimension string // "measure", "predictor", or "half-life"
+	Value     string
+	Detected  int
+	Events    int
+	MeanDelay time.Duration
+	Precision float64
+}
+
+// A1Result is the full ablation sweep.
+type A1Result struct {
+	Rows []A1Row
+}
+
+// RunA1 sweeps the design choices Section 3 leaves open — correlation
+// measure, prediction model, and damping half-life — on the archive
+// workload, holding everything else at the SC1 reference configuration.
+func RunA1(w io.Writer) (A1Result, error) {
+	docs, events := sc1Workload(42)
+	var res A1Result
+
+	eval := func(dim, val string, mutate func(cfg *core.Config)) {
+		cfg := sc1Config()
+		mutate(&cfg)
+		log := runEngine(cfg, docs)
+		ls := log.detectionSummary(events, 10)
+		s := metrics.Summarize(ls)
+		res.Rows = append(res.Rows, A1Row{
+			Dimension: dim, Value: val,
+			Detected: s.Detected, Events: s.Events,
+			MeanDelay: s.MeanDelay,
+			Precision: log.meanPrecisionDuringEvents(events, 10),
+		})
+	}
+
+	for _, m := range pairs.AllMeasures() {
+		m := m
+		eval("measure", m.String(), func(cfg *core.Config) { cfg.Measure = m })
+	}
+	for _, k := range predict.AllKinds() {
+		k := k
+		eval("predictor", k.String(), func(cfg *core.Config) { cfg.Predictor = k })
+	}
+	for _, hl := range []time.Duration{12 * time.Hour, 48 * time.Hour, 96 * time.Hour} {
+		hl := hl
+		eval("half-life", fmtDur(hl), func(cfg *core.Config) { cfg.HalfLife = hl })
+	}
+
+	section(w, "A1", "ablation on the archive workload (reference: jaccard + ma + 48h)")
+	tw := table(w)
+	fmt.Fprintln(tw, "dimension\tvalue\tdetected\tmean-latency\tprecision")
+	for _, r := range res.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d/%d\t%s\t%.3f\n",
+			r.Dimension, r.Value, r.Detected, r.Events, fmtDur(r.MeanDelay), r.Precision)
+	}
+	tw.Flush()
+	return res, nil
+}
+
+func runA1(w io.Writer) error {
+	_, err := RunA1(w)
+	return err
+}

@@ -1,0 +1,188 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"enblogue/internal/baseline"
+	"enblogue/internal/pairs"
+	"enblogue/internal/source"
+)
+
+// B1Result is the head-to-head outcome of enBlogue vs the
+// TwitterMonitor-style burst baseline on two event types.
+type B1Result struct {
+	// CorrelationShift: an event that changes only the pair's overlap,
+	// not either tag's total rate (Figure 1's phenomenon).
+	CorrelationShift B1Row
+	// RateBurst: a classic burst where two co-occurring tags spike
+	// together — both systems should see this one.
+	RateBurst B1Row
+}
+
+// B1Row compares the two systems on one event.
+type B1Row struct {
+	Pair             pairs.Key
+	EventStart       time.Time
+	EnBlogueDetected bool
+	EnBlogueLatency  time.Duration
+	BaselineDetected bool
+	BaselineLatency  time.Duration
+}
+
+// b1ShiftWorkload builds the rate-preserving correlation-shift stream:
+// tags x and y hold constant total rates; at shiftStart their documents
+// merge so the pair co-occurs heavily.
+func b1ShiftWorkload(start time.Time, hours, shiftHour int) []source.Document {
+	var docs []source.Document
+	id := 0
+	emit := func(at time.Time, tags ...string) {
+		id++
+		docs = append(docs, source.Document{
+			Time: at, ID: fmt.Sprintf("b1s-%06d", id), Tags: tags, Source: "b1",
+		})
+	}
+	for h := 0; h < hours; h++ {
+		base := start.Add(time.Duration(h) * time.Hour)
+		joint := 1
+		if h >= shiftHour {
+			joint = 10
+		}
+		xSolo, ySolo := 30-joint, 12-joint
+		for i := 0; i < xSolo; i++ {
+			emit(base.Add(time.Duration(i*90)*time.Second), "x", "chatter")
+		}
+		for i := 0; i < ySolo; i++ {
+			emit(base.Add(time.Duration(i*240)*time.Second), "y", "misc")
+		}
+		for i := 0; i < joint; i++ {
+			emit(base.Add(time.Duration(i*300)*time.Second), "x", "y")
+		}
+		for i := 0; i < 40; i++ {
+			emit(base.Add(time.Duration(i*80)*time.Second), "news", fmt.Sprintf("bg%d", i%6))
+		}
+	}
+	source.SortDocs(docs)
+	return docs
+}
+
+// b1BurstWorkload builds the classic burst: background chatter, then tags
+// p and q appear from nothing at high joint rate.
+func b1BurstWorkload(start time.Time, hours, burstHour int) []source.Document {
+	var docs []source.Document
+	id := 0
+	emit := func(at time.Time, tags ...string) {
+		id++
+		docs = append(docs, source.Document{
+			Time: at, ID: fmt.Sprintf("b1b-%06d", id), Tags: tags, Source: "b1",
+		})
+	}
+	for h := 0; h < hours; h++ {
+		base := start.Add(time.Duration(h) * time.Hour)
+		for i := 0; i < 40; i++ {
+			emit(base.Add(time.Duration(i*80)*time.Second), "news", fmt.Sprintf("bg%d", i%6))
+		}
+		for i := 0; i < 20; i++ {
+			emit(base.Add(time.Duration(i*150)*time.Second), "x", "chatter")
+		}
+		if h >= burstHour {
+			for i := 0; i < 25; i++ {
+				emit(base.Add(time.Duration(i*120)*time.Second), "p", "q")
+			}
+		}
+	}
+	source.SortDocs(docs)
+	return docs
+}
+
+// b1RunBaseline drives the burst detector with hourly ticks and reports
+// when the target pair first appeared in a burst group (or, failing
+// grouping, when both tags burst in the same tick).
+func b1RunBaseline(docs []source.Document, start time.Time, hours int, target pairs.Key) (time.Time, bool) {
+	bd := baseline.NewBurstDetector(baseline.Config{
+		Buckets: 6, Resolution: time.Hour, Alpha: 0.3,
+		Threshold: 2.5, MinCount: 8, GroupJaccard: 0.2,
+	})
+	next := start.Add(time.Hour)
+	i := 0
+	for h := 0; h < hours; h++ {
+		for i < len(docs) && docs[i].Time.Before(next) {
+			bd.Observe(docs[i].Time, docs[i].Tags)
+			i++
+		}
+		bursts := bd.Tick(next)
+		for _, k := range baseline.TopicPairs(bd.Groups(bursts)) {
+			if k == target {
+				return next, true
+			}
+		}
+		both := 0
+		for _, b := range bursts {
+			if target.Contains(b.Tag) {
+				both++
+			}
+		}
+		if both == 2 {
+			return next, true
+		}
+		next = next.Add(time.Hour)
+	}
+	return time.Time{}, false
+}
+
+// RunB1 executes the baseline comparison.
+func RunB1(w io.Writer) (B1Result, error) {
+	start := time.Date(2011, 6, 1, 0, 0, 0, 0, time.UTC)
+	const hours, eventHour = 36, 24
+	eventStart := start.Add(eventHour * time.Hour)
+
+	cfg := sc1Config()
+	cfg.WindowBuckets = 6
+	cfg.TickEvery = time.Hour
+	cfg.SeedCount = 10
+	cfg.HalfLife = 12 * time.Hour
+
+	row := func(docs []source.Document, target pairs.Key) B1Row {
+		r := B1Row{Pair: target, EventStart: eventStart}
+		log := runEngine(cfg, docs)
+		if at, ok := log.firstTopK(target, 3); ok && !at.Before(eventStart) {
+			r.EnBlogueDetected = true
+			r.EnBlogueLatency = at.Sub(eventStart)
+		}
+		if at, ok := b1RunBaseline(docs, start, hours, target); ok && !at.Before(eventStart) {
+			r.BaselineDetected = true
+			r.BaselineLatency = at.Sub(eventStart)
+		}
+		return r
+	}
+
+	res := B1Result{
+		CorrelationShift: row(b1ShiftWorkload(start, hours, eventHour), pairs.MakeKey("x", "y")),
+		RateBurst:        row(b1BurstWorkload(start, hours, eventHour), pairs.MakeKey("p", "q")),
+	}
+
+	section(w, "B1", "enBlogue vs burst baseline — who sees what")
+	tw := table(w)
+	fmt.Fprintln(tw, "event type\tpair\tenblogue\tlatency\tbaseline\tlatency")
+	p := func(name string, r B1Row) {
+		eb, el, bl, bll := "miss", "-", "miss", "-"
+		if r.EnBlogueDetected {
+			eb, el = "detect", fmtDur(r.EnBlogueLatency)
+		}
+		if r.BaselineDetected {
+			bl, bll = "detect", fmtDur(r.BaselineLatency)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", name, r.Pair, eb, el, bl, bll)
+	}
+	p("correlation shift (rates flat)", res.CorrelationShift)
+	p("rate burst (co-occurring)", res.RateBurst)
+	tw.Flush()
+	fmt.Fprintln(w, "\nexpected shape: enBlogue detects both; baseline detects only the rate burst")
+	return res, nil
+}
+
+func runB1(w io.Writer) error {
+	_, err := RunB1(w)
+	return err
+}

@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"enblogue/internal/source"
+)
+
+// tweetCache memoises generated tweet streams: SC2, SC3 and the benchmarks
+// replay the identical scripted scenario, and generation dominates their
+// runtime otherwise. Generators are deterministic, so caching is safe.
+var tweetCache sync.Map // string → []source.Document
+
+// GenerateTweetsCached is source.GenerateTweets behind a process-wide cache.
+// Callers must not mutate the returned slice.
+func GenerateTweetsCached(cfg source.TweetConfig) []source.Document {
+	key := fmt.Sprintf("%+v", cfg)
+	if v, ok := tweetCache.Load(key); ok {
+		return v.([]source.Document)
+	}
+	docs := source.GenerateTweets(cfg)
+	tweetCache.Store(key, docs)
+	return docs
+}
+
+// archiveCache memoises the SC1/A1 archive for the same reason.
+var archiveCache sync.Map // string → []source.Document
+
+// GenerateArchiveCached is source.GenerateArchive behind a process-wide
+// cache. Callers must not mutate the returned slice.
+func GenerateArchiveCached(cfg source.ArchiveConfig) []source.Document {
+	key := fmt.Sprintf("%+v", cfg)
+	if v, ok := archiveCache.Load(key); ok {
+		return v.([]source.Document)
+	}
+	docs := source.GenerateArchive(cfg)
+	archiveCache.Store(key, docs)
+	return docs
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"enblogue/internal/entity"
+)
+
+// E1Result holds the entity-tagging accuracy and throughput outcome.
+type E1Result struct {
+	// Docs is the number of evaluated documents.
+	Docs int
+	// Precision and Recall of canonical-entity extraction (set semantics
+	// per document) without a type filter.
+	Precision float64
+	Recall    float64
+	// FilteredPrecision/FilteredRecall restrict truth and output to
+	// locations, exercising the ontology filter.
+	FilteredPrecision float64
+	FilteredRecall    float64
+	// MBPerSec is the tagging throughput.
+	MBPerSec float64
+}
+
+// e1Doc is a generated document with known entity ground truth.
+type e1Doc struct {
+	text     string
+	truth    map[string]bool // canonical entities present
+	locTruth map[string]bool // subset of truth that IsA location
+}
+
+// e1Corpus builds documents by splicing gazetteer aliases (including
+// redirects and the canonical forms) into filler sentences. Truth is exact
+// because we control the splice.
+func e1Corpus(n int, seed int64, g *entity.Gazetteer, o *entity.Ontology) []e1Doc {
+	type alias struct {
+		surface   string
+		canonical string
+	}
+	aliases := []alias{
+		{"Barack Obama", "barack obama"},
+		{"Obama", "barack obama"},
+		{"President Obama", "barack obama"},
+		{"Angela Merkel", "angela merkel"},
+		{"the United Nations", "united nations"},
+		{"BP", "british petroleum"},
+		{"Iceland", "iceland"},
+		{"Athens", "athens"},
+		{"New York", "new york city"},
+		{"NYC", "new york city"},
+		{"the Gulf of Mexico", "gulf of mexico"},
+		{"Eyjafjallajokull", "eyjafjallajökull"},
+		{"Hurricane Katrina", "hurricane katrina"},
+		{"the World Cup", "world cup"},
+		{"SIGMOD", "sigmod"},
+		{"Roger Federer", "roger federer"},
+	}
+	fillers := []string{
+		"yesterday the markets reacted strongly",
+		"officials declined further comment today",
+		"analysts expect developments soon",
+		"the report was published this morning",
+		"crowds gathered despite the rain",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]e1Doc, n)
+	for i := range docs {
+		k := 1 + rng.Intn(3)
+		var parts []string
+		truth := map[string]bool{}
+		locTruth := map[string]bool{}
+		for j := 0; j < k; j++ {
+			a := aliases[rng.Intn(len(aliases))]
+			parts = append(parts, fillers[rng.Intn(len(fillers))], a.surface)
+			truth[a.canonical] = true
+			if e, ok := g.Lookup(a.canonical); ok {
+				for _, typ := range e.Types {
+					if o.IsA(typ, "location") {
+						locTruth[a.canonical] = true
+					}
+				}
+			}
+		}
+		parts = append(parts, fillers[rng.Intn(len(fillers))])
+		docs[i] = e1Doc{
+			text:     strings.Join(parts, ". ") + ".",
+			truth:    truth,
+			locTruth: locTruth,
+		}
+	}
+	return docs
+}
+
+// prf accumulates set precision/recall over documents.
+type prf struct {
+	tp, fp, fn int
+}
+
+func (p *prf) add(got []string, truth map[string]bool) {
+	seen := map[string]bool{}
+	for _, e := range got {
+		seen[e] = true
+		if truth[e] {
+			p.tp++
+		} else {
+			p.fp++
+		}
+	}
+	for e := range truth {
+		if !seen[e] {
+			p.fn++
+		}
+	}
+}
+
+func (p *prf) precision() float64 {
+	if p.tp+p.fp == 0 {
+		return 1
+	}
+	return float64(p.tp) / float64(p.tp+p.fp)
+}
+
+func (p *prf) recall() float64 {
+	if p.tp+p.fn == 0 {
+		return 1
+	}
+	return float64(p.tp) / float64(p.tp+p.fn)
+}
+
+// RunE1 measures the tagger against spliced ground truth and times it.
+func RunE1(w io.Writer) (E1Result, error) {
+	g, o := entity.Sample()
+	corpus := e1Corpus(2000, 11, g, o)
+
+	plain := entity.NewTagger(g, o)
+	loc := entity.NewTagger(g, o)
+	loc.AllowTypes = []string{"location"}
+
+	var all, filtered prf
+	var bytes int
+	startT := time.Now()
+	for _, d := range corpus {
+		bytes += len(d.text)
+		all.add(plain.Entities(d.text), d.truth)
+		filtered.add(loc.Entities(d.text), d.locTruth)
+	}
+	el := time.Since(startT).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+
+	res := E1Result{
+		Docs:              len(corpus),
+		Precision:         all.precision(),
+		Recall:            all.recall(),
+		FilteredPrecision: filtered.precision(),
+		FilteredRecall:    filtered.recall(),
+		MBPerSec:          float64(bytes) / 1e6 / el / 2, // two taggers ran
+	}
+
+	section(w, "E1", "entity tagging — redirects, type filter, throughput")
+	tw := table(w)
+	fmt.Fprintln(tw, "configuration\tprecision\trecall")
+	fmt.Fprintf(tw, "all entity types\t%.3f\t%.3f\n", res.Precision, res.Recall)
+	fmt.Fprintf(tw, "location filter (YAGO-style)\t%.3f\t%.3f\n",
+		res.FilteredPrecision, res.FilteredRecall)
+	tw.Flush()
+	fmt.Fprintf(w, "\n%d docs; tagging throughput %.1f MB/s\n", res.Docs, res.MBPerSec)
+	return res, nil
+}
+
+func runE1(w io.Writer) error {
+	_, err := RunE1(w)
+	return err
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sink returns a writer for experiment tables: verbose mode shows them.
+func sink(t *testing.T) io.Writer {
+	t.Helper()
+	if testing.Verbose() {
+		return os.Stdout
+	}
+	return io.Discard
+}
+
+func TestByID(t *testing.T) {
+	for _, e := range All {
+		got, ok := ByID(e.ID)
+		if !ok || got.Name != e.Name {
+			t.Errorf("ByID(%s) = %+v, %v", e.ID, got, ok)
+		}
+	}
+	if _, ok := ByID("nope"); ok {
+		t.Error("ByID(nope) should fail")
+	}
+}
+
+func TestF1ReproducesFigure1(t *testing.T) {
+	res, err := RunF1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != f1Hours {
+		t.Fatalf("series length = %d", len(res.Series))
+	}
+	// The figure's qualitative content:
+	// (1) the popular tag's solo peaks leave the intersection flat;
+	for _, p := range res.Series {
+		if p.Hour >= f1Peak1Start && p.Hour < f1Peak1Start+f1PeakLen && p.Intersection != f1Overlap {
+			t.Errorf("hour %d: intersection %d changed during solo peak", p.Hour, p.Intersection)
+		}
+	}
+	// (2) enBlogue's pair score during the shift dwarfs its score during
+	// the solo peaks;
+	if res.PairScoreDuringShift <= 3*res.PairScoreDuringSoloBurst {
+		t.Errorf("shift score %v vs solo-burst score %v: shift must dominate",
+			res.PairScoreDuringShift, res.PairScoreDuringSoloBurst)
+	}
+	// (3) the shift tops the ranking promptly;
+	if !res.ShiftDetected {
+		t.Fatal("shift never ranked #1")
+	}
+	if lag := res.ShiftDetectedAt.Sub(res.ShiftStart); lag > 3*time.Hour {
+		t.Errorf("shift detection lag %v > 3h", lag)
+	}
+	// (4) the burst baseline sees the solo peak but is blind to the shift.
+	if !res.BaselineFlaggedSoloBurst {
+		t.Error("baseline missed the solo burst it is designed for")
+	}
+	if res.BaselineFlaggedShift {
+		t.Error("baseline flagged the rate-preserving correlation shift")
+	}
+}
+
+func TestSC1DetectsHistoricEvents(t *testing.T) {
+	res, err := RunSC1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Events != 3 {
+		t.Fatalf("events = %d", res.Summary.Events)
+	}
+	if res.Summary.Detected != 3 {
+		t.Errorf("detected %d/3 events", res.Summary.Detected)
+	}
+	if res.Summary.MeanDelay > 12*time.Hour {
+		t.Errorf("mean latency %v > 12h", res.Summary.MeanDelay)
+	}
+	if res.MeanPrecision < 0.4 {
+		t.Errorf("mean precision during events = %v, want >= 0.4", res.MeanPrecision)
+	}
+}
+
+func TestSC2SigmodAthensClimbs(t *testing.T) {
+	res, err := RunSC2(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Reached {
+		t.Fatal("sigmod+athens never reached top-10")
+	}
+	if res.TimeToTop10 > 4*time.Hour {
+		t.Errorf("time to top-10 = %v, want <= 4h", res.TimeToTop10)
+	}
+	if res.BestRank > 2 {
+		t.Errorf("best rank = %d, want <= 2", res.BestRank)
+	}
+}
+
+func TestSC3PersonalizationDiverges(t *testing.T) {
+	res, err := RunSC3(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := res.Lists["default"]
+	if len(def) == 0 {
+		t.Fatal("default list empty")
+	}
+	// The db-researcher must see sigmod+athens first.
+	if got := res.Lists["db-researcher"]; len(got) == 0 || got[0] != "athens+sigmod" {
+		t.Errorf("db-researcher list = %v, want athens+sigmod first", got)
+	}
+	// The exclusive traveller profile filters to matching topics only —
+	// a strictly smaller list headed by a travel topic.
+	trav := res.Lists["traveller"]
+	if len(trav) == 0 || len(trav) >= len(def) {
+		t.Errorf("traveller list = %v (default %d entries), want proper subset", trav, len(def))
+	}
+	if len(trav) > 0 && trav[0] != "air-traffic+volcano" {
+		t.Errorf("traveller head = %s, want air-traffic+volcano", trav[0])
+	}
+	if res.OverlapVsDefault["traveller"] >= 1 {
+		t.Errorf("traveller overlap = %v, want < 1", res.OverlapVsDefault["traveller"])
+	}
+}
+
+func TestB1BaselineComparison(t *testing.T) {
+	res, err := RunB1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CorrelationShift.EnBlogueDetected {
+		t.Error("enBlogue missed the correlation shift")
+	}
+	if res.CorrelationShift.BaselineDetected {
+		t.Error("baseline detected the rate-preserving shift (should be blind)")
+	}
+	if !res.RateBurst.EnBlogueDetected {
+		t.Error("enBlogue missed the rate burst")
+	}
+	if !res.RateBurst.BaselineDetected {
+		t.Error("baseline missed the rate burst it is designed for")
+	}
+}
+
+func TestP1Throughput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput in short mode")
+	}
+	res, err := RunP1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EngineRows) != 6 {
+		t.Fatalf("rows = %d", len(res.EngineRows))
+	}
+	for _, r := range res.EngineRows {
+		if r.DocsPerSec < 1000 {
+			t.Errorf("engine throughput %0.f docs/sec (seeds=%d) below sanity floor",
+				r.DocsPerSec, r.SeedCount)
+		}
+	}
+	if res.SharedSpeedup < 1.2 {
+		t.Errorf("shared-plan speedup = %.2f, want >= 1.2 (4 plans share one tagger)",
+			res.SharedSpeedup)
+	}
+}
+
+func TestA1AblationRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation in short mode")
+	}
+	res, err := RunA1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 { // 6 measures + 7 predictors + 3 half-lives
+		t.Fatalf("ablation rows = %d, want 16", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Events != 3 {
+			t.Errorf("%s=%s events = %d", r.Dimension, r.Value, r.Events)
+		}
+		// Every configuration should find at least 2 of the 3 strong events.
+		if r.Detected < 2 {
+			t.Errorf("%s=%s detected only %d/3", r.Dimension, r.Value, r.Detected)
+		}
+	}
+}
+
+func TestA2Sensitivity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sensitivity sweep in short mode")
+	}
+	res, err := RunA2(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 13 { // 5 seed counts + 4 floors + 4 tick periods
+		t.Fatalf("rows = %d, want 13", len(res.Rows))
+	}
+	var latByTick []time.Duration
+	for _, r := range res.Rows {
+		if r.Detected != 3 {
+			t.Errorf("%s=%s detected %d/3 — the events are strong; every config should find them",
+				r.Dimension, r.Value, r.Detected)
+		}
+		if r.Dimension == "tick-period" {
+			latByTick = append(latByTick, r.MeanDelay)
+		}
+	}
+	// Detection latency must grow with the tick period (coarser ticks see
+	// shifts later).
+	for i := 1; i < len(latByTick); i++ {
+		if latByTick[i] < latByTick[i-1] {
+			t.Errorf("latency decreased with coarser ticks: %v", latByTick)
+		}
+	}
+}
+
+func TestE1EntityTagging(t *testing.T) {
+	res, err := RunE1(sink(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Precision < 0.95 || res.Recall < 0.95 {
+		t.Errorf("entity P/R = %.3f/%.3f, want >= 0.95 on spliced truth",
+			res.Precision, res.Recall)
+	}
+	if res.FilteredPrecision < 0.95 || res.FilteredRecall < 0.95 {
+		t.Errorf("filtered P/R = %.3f/%.3f", res.FilteredPrecision, res.FilteredRecall)
+	}
+	if res.MBPerSec <= 0 {
+		t.Error("throughput not measured")
+	}
+}
+
+func TestAllExperimentsRunCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full sweep in short mode")
+	}
+	var sb strings.Builder
+	for _, e := range All {
+		if err := e.Run(&sb); err != nil {
+			t.Errorf("%s failed: %v", e.ID, err)
+		}
+	}
+	out := sb.String()
+	for _, e := range All {
+		if !strings.Contains(out, "=== "+e.ID) {
+			t.Errorf("output missing section %s", e.ID)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/entity"
+	"enblogue/internal/source"
+	"enblogue/internal/stream"
+)
+
+// P1Result holds the throughput measurements.
+type P1Result struct {
+	// EngineRows: docs/sec for (seedCount, windowBuckets) combinations.
+	EngineRows []P1EngineRow
+	// SharedDocsPerSec and PrivateDocsPerSec compare a 4-plan runner with
+	// shared vs per-plan entity tagging — the paper's shared-operator
+	// optimisation quantified.
+	SharedDocsPerSec  float64
+	PrivateDocsPerSec float64
+	SharedSpeedup     float64
+}
+
+// P1EngineRow is one engine-throughput measurement.
+type P1EngineRow struct {
+	SeedCount     int
+	WindowBuckets int
+	DocsPerSec    float64
+	ActivePairs   int
+}
+
+// p1Docs generates the throughput workload once.
+func p1Docs() []source.Document {
+	return GenerateArchiveCached(source.ArchiveConfig{
+		Seed: 99, Start: time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days: 10, DocsPerDay: 1500,
+	})
+}
+
+// measureEngine times a full consume of docs through one engine.
+func measureEngine(cfg core.Config, docs []source.Document) (docsPerSec float64, activePairs int) {
+	items := make([]*stream.Item, len(docs))
+	for i := range docs {
+		items[i] = docs[i].Item()
+	}
+	e := core.New(cfg)
+	startT := time.Now()
+	for _, it := range items {
+		e.Consume(it)
+	}
+	e.Flush()
+	el := time.Since(startT).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return float64(len(docs)) / el, e.ActivePairs()
+}
+
+// measurePlans times a 4-plan runner over docs; shared selects whether the
+// entity-tagging stage is one shared instance or four private ones.
+func measurePlans(docs []source.Document, shared bool) float64 {
+	items := make(stream.SliceSource, len(docs))
+	for i := range docs {
+		it := docs[i].Item()
+		it.Text = "Barack Obama visited New York City while flights over Iceland resumed"
+		items[i] = it
+	}
+	g, o := entity.Sample()
+	newTagStage := func() stream.Operator {
+		tagger := entity.NewTagger(g, o)
+		return stream.NewMap(func(it *stream.Item) *stream.Item {
+			cp := it.Clone()
+			cp.Entities = tagger.Entities(cp.Text)
+			return cp
+		})
+	}
+	r := stream.NewRunner(items)
+	for p := 0; p < 4; p++ {
+		var st stream.Stage
+		if shared {
+			st = stream.Shared("entity", newTagStage)
+		} else {
+			st = stream.Private(newTagStage)
+		}
+		n := 0
+		r.Add(&stream.Plan{
+			Name:   fmt.Sprintf("plan%d", p),
+			Stages: []stream.Stage{st},
+			Sink:   stream.SinkFunc(func(*stream.Item) { n++ }),
+		})
+	}
+	startT := time.Now()
+	if err := r.Run(context.Background()); err != nil {
+		return 0
+	}
+	el := time.Since(startT).Seconds()
+	if el <= 0 {
+		el = 1e-9
+	}
+	return float64(len(docs)) / el
+}
+
+// RunP1 measures engine throughput across configurations and the benefit of
+// operator sharing across plans.
+func RunP1(w io.Writer) (P1Result, error) {
+	docs := p1Docs()
+	var res P1Result
+	for _, seeds := range []int{10, 50, 200} {
+		for _, buckets := range []int{24, 48} {
+			cfg := core.Config{
+				WindowBuckets:    buckets,
+				WindowResolution: time.Hour,
+				SeedCount:        seeds,
+				TopK:             20,
+			}
+			dps, pairs := measureEngine(cfg, docs)
+			res.EngineRows = append(res.EngineRows, P1EngineRow{
+				SeedCount: seeds, WindowBuckets: buckets,
+				DocsPerSec: dps, ActivePairs: pairs,
+			})
+		}
+	}
+	res.SharedDocsPerSec = measurePlans(docs[:5000], true)
+	res.PrivateDocsPerSec = measurePlans(docs[:5000], false)
+	if res.PrivateDocsPerSec > 0 {
+		res.SharedSpeedup = res.SharedDocsPerSec / res.PrivateDocsPerSec
+	}
+
+	section(w, "P1", "engine throughput and shared-plan speedup")
+	fmt.Fprintf(w, "workload: %d archive documents\n", len(docs))
+	tw := table(w)
+	fmt.Fprintln(tw, "seeds\twindow-buckets\tdocs/sec\tactive-pairs")
+	for _, r := range res.EngineRows {
+		fmt.Fprintf(tw, "%d\t%d\t%.0f\t%d\n",
+			r.SeedCount, r.WindowBuckets, r.DocsPerSec, r.ActivePairs)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\n4 plans, shared entity tagging:  %.0f docs/sec\n", res.SharedDocsPerSec)
+	fmt.Fprintf(w, "4 plans, private entity tagging: %.0f docs/sec\n", res.PrivateDocsPerSec)
+	fmt.Fprintf(w, "sharing speedup: %.2fx\n", res.SharedSpeedup)
+	return res, nil
+}
+
+func runP1(w io.Writer) error {
+	_, err := RunP1(w)
+	return err
+}

@@ -1,0 +1,281 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/metrics"
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+	"enblogue/internal/predict"
+	"enblogue/internal/rank"
+	"enblogue/internal/source"
+)
+
+// sc1Config is the engine configuration used by the archive show case and
+// reused by the ablation as its reference point.
+func sc1Config() core.Config {
+	return core.Config{
+		WindowBuckets:    48,
+		WindowResolution: time.Hour,
+		TickEvery:        2 * time.Hour,
+		SeedCount:        40,
+		SeedMinCount:     3,
+		Predictor:        predict.KindMovingAverage,
+		PredictorConfig:  predict.Config{Window: 6},
+		MinCooccurrence:  3,
+		TopK:             15,
+		UpOnly:           true, // paper: "sudden (but significant) increases"
+	}
+}
+
+// sc1Workload generates the synthetic 25-day archive with the scripted
+// historic events.
+func sc1Workload(seed int64) ([]source.Document, []source.Event) {
+	start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
+	events := source.HistoricEvents(start)
+	docs := GenerateArchiveCached(source.ArchiveConfig{
+		Seed: seed, Start: start, Days: 25, DocsPerDay: 240, Events: events,
+	})
+	return docs, events
+}
+
+// SC1Result is show case 1's quantitative outcome.
+type SC1Result struct {
+	Latencies []metrics.Latency
+	Summary   metrics.Summary
+	// MeanPrecision is precision@|active| averaged over event-active ticks.
+	MeanPrecision float64
+}
+
+// RunSC1 replays the synthetic archive and measures how enBlogue recovers
+// the injected historic events.
+func RunSC1(w io.Writer) (SC1Result, error) {
+	docs, events := sc1Workload(42)
+	log := runEngine(sc1Config(), docs)
+
+	res := SC1Result{
+		Latencies:     log.detectionSummary(events, 10),
+		MeanPrecision: log.meanPrecisionDuringEvents(events, 10),
+	}
+	res.Summary = metrics.Summarize(res.Latencies)
+
+	section(w, "SC1", "revisiting historic events — synthetic NYT archive replay")
+	fmt.Fprintf(w, "archive: %d documents over 25 days; %d injected events; top-k=10\n",
+		len(docs), len(events))
+	tw := table(w)
+	fmt.Fprintln(tw, "event\tpair\tstart\tdetected\tlatency\tbest-rank")
+	for _, ev := range events {
+		var row metrics.Latency
+		for _, l := range res.Latencies {
+			if l.ID == ev.Pair().String() {
+				row = l
+			}
+		}
+		best := log.bestRank(ev.Pair())
+		det, lat := "no", "-"
+		if row.Detected {
+			det, lat = "yes", fmtDur(row.Delay)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%d\n",
+			ev.Name, ev.Pair(), ev.Start.Format("Jan 02 15:04"), det, lat, best)
+	}
+	tw.Flush()
+	fmt.Fprintf(w, "\ndetected %d/%d events; mean latency %s; mean precision during events %.3f\n",
+		res.Summary.Detected, res.Summary.Events, fmtDur(res.Summary.MeanDelay), res.MeanPrecision)
+	return res, nil
+}
+
+func runSC1(w io.Writer) error {
+	_, err := RunSC1(w)
+	return err
+}
+
+// SC2Result is show case 2's outcome: the SIGMOD/Athens rank trajectory.
+type SC2Result struct {
+	Pair       pairs.Key
+	EventStart time.Time
+	// TimeToTop10 is how long after the happening started the pair entered
+	// the top 10; -1 when it never did.
+	TimeToTop10 time.Duration
+	Reached     bool
+	// BestRank is the best rank achieved (0-based).
+	BestRank int
+	// Trajectory holds (tick, rank) samples around the event.
+	Trajectory []trajPoint
+}
+
+// RunSC2 simulates the live Twitter demo with the scripted SIGMOD/Athens
+// surge and reports the pair's climb through the ranking.
+func RunSC2(w io.Writer) (SC2Result, error) {
+	span := 48 * time.Hour
+	cfg := source.TweetConfig{
+		Seed:            7,
+		Start:           time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC),
+		Span:            span,
+		TweetsPerMinute: 20,
+		Happenings:      source.SIGMODAthensScenario(span),
+	}
+	docs := GenerateTweetsCached(cfg)
+	events := cfg.Events()
+	var sigmod source.Event
+	for _, e := range events {
+		if e.Name == "sigmod-athens" {
+			sigmod = e
+		}
+	}
+
+	log := runEngine(core.Config{
+		WindowBuckets:    24,
+		WindowResolution: time.Hour,
+		TickEvery:        time.Hour,
+		SeedCount:        30,
+		SeedMinCount:     5,
+		Predictor:        predict.KindMovingAverage,
+		PredictorConfig:  predict.Config{Window: 4},
+		MinCooccurrence:  3,
+		TopK:             10,
+		UpOnly:           true,
+	}, docs)
+
+	res := SC2Result{Pair: sigmod.Pair(), EventStart: sigmod.Start, TimeToTop10: -1}
+	res.BestRank = log.bestRank(res.Pair)
+	if at, ok := log.firstTopK(res.Pair, 10); ok {
+		res.Reached = true
+		res.TimeToTop10 = at.Sub(sigmod.Start)
+		if res.TimeToTop10 < 0 {
+			res.TimeToTop10 = 0
+		}
+	}
+	res.Trajectory = log.rankTrajectory(res.Pair)
+
+	section(w, "SC2", "live data time lapse — SIGMOD/Athens surge")
+	fmt.Fprintf(w, "stream: %d tweets over %s; happening starts %s\n",
+		len(docs), span, sigmod.Start.Format(time.RFC3339))
+	tw := table(w)
+	fmt.Fprintln(tw, "tick\toffset-from-event\trank\tscore")
+	for _, p := range res.Trajectory {
+		if p.Rank < 0 && p.At.Before(sigmod.Start) {
+			continue // uneventful warm-up ticks
+		}
+		fmt.Fprintf(tw, "%s\t%+.1fh\t%d\t%.4f\n",
+			p.At.Format("15:04"), p.At.Sub(sigmod.Start).Hours(), p.Rank, p.Score)
+	}
+	tw.Flush()
+	if res.Reached {
+		fmt.Fprintf(w, "\nsigmod+athens reached top-10 %s after surge start (best rank %d)\n",
+			fmtDur(res.TimeToTop10), res.BestRank)
+	} else {
+		fmt.Fprintln(w, "\nsigmod+athens never reached top-10")
+	}
+	return res, nil
+}
+
+func runSC2(w io.Writer) error {
+	_, err := RunSC2(w)
+	return err
+}
+
+// SC3Result quantifies personalization: the same ranking viewed by three
+// users diverges in order and content.
+type SC3Result struct {
+	// Lists maps profile name → ranked pair IDs.
+	Lists map[string][]string
+	// TauVsDefault maps profile name → Kendall tau against the default view.
+	TauVsDefault map[string]float64
+	// OverlapVsDefault maps profile name → shared-ID fraction.
+	OverlapVsDefault map[string]float64
+}
+
+// RunSC3 applies three user profiles to the show-case-2 stream's final
+// ranking and measures how the views diverge.
+func RunSC3(w io.Writer) (SC3Result, error) {
+	span := 48 * time.Hour
+	cfg := source.TweetConfig{
+		Seed:            7,
+		Start:           time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC),
+		Span:            span,
+		TweetsPerMinute: 20,
+		Happenings:      source.SIGMODAthensScenario(span),
+	}
+	docs := GenerateTweetsCached(cfg)
+	log := runEngine(core.Config{
+		WindowBuckets:    24,
+		WindowResolution: time.Hour,
+		TickEvery:        time.Hour,
+		SeedCount:        30,
+		SeedMinCount:     5,
+		Predictor:        predict.KindMovingAverage,
+		PredictorConfig:  predict.Config{Window: 4},
+		MinCooccurrence:  3,
+		TopK:             10,
+		UpOnly:           true,
+	}, docs)
+	if len(log.rankings) == 0 {
+		return SC3Result{}, fmt.Errorf("experiments: SC3 produced no rankings")
+	}
+	// Use the tick at the surge's end, where both happenings score: the
+	// richest ranking of the stream.
+	var pick core.Ranking
+	target := cfg.Start.Add(span/2 + span/8)
+	for _, r := range log.rankings {
+		if !r.At.After(target) {
+			pick = r
+		}
+	}
+	var topics []persona.Topic
+	for _, t := range pick.Topics {
+		topics = append(topics, persona.Topic{Pair: t.Pair, Score: t.Score})
+	}
+
+	reg := persona.NewRegistry()
+	reg.Set(&persona.Profile{Name: "default"})
+	reg.Set(&persona.Profile{Name: "db-researcher", Keywords: []string{"sigmod", "athens"}, Boost: 5})
+	// The traveller uses an exclusive profile: non-matching topics are
+	// dropped entirely ("completely different ... emergent topics").
+	reg.Set(&persona.Profile{Name: "traveller", Keywords: []string{"volcano", "air-traffic", "flight"}, Boost: 5, Exclusive: true})
+
+	views := reg.RerankAll(topics)
+	toList := func(ts []persona.Topic) rank.List {
+		l := make(rank.List, len(ts))
+		for i, t := range ts {
+			l[i] = rank.Entry{ID: t.Pair.String(), Score: t.Score}
+		}
+		return l
+	}
+	def := toList(views["default"])
+
+	res := SC3Result{
+		Lists:            map[string][]string{},
+		TauVsDefault:     map[string]float64{},
+		OverlapVsDefault: map[string]float64{},
+	}
+	for name, ts := range views {
+		l := toList(ts)
+		res.Lists[name] = l.IDs()
+		res.TauVsDefault[name] = rank.KendallTau(def, l)
+		res.OverlapVsDefault[name] = rank.Overlap(def, l)
+	}
+
+	section(w, "SC3", "personalization — three users, one stream")
+	fmt.Fprintf(w, "ranking tick: %s; %d topics\n", pick.At.Format(time.RFC3339), len(topics))
+	tw := table(w)
+	fmt.Fprintln(tw, "profile\ttop-5\tkendall-tau\toverlap")
+	for _, name := range sortedKeys(res.Lists) {
+		ids := res.Lists[name]
+		if len(ids) > 5 {
+			ids = ids[:5]
+		}
+		fmt.Fprintf(tw, "%s\t%v\t%.3f\t%.3f\n",
+			name, ids, res.TauVsDefault[name], res.OverlapVsDefault[name])
+	}
+	tw.Flush()
+	return res, nil
+}
+
+func runSC3(w io.Writer) error {
+	_, err := RunSC3(w)
+	return err
+}

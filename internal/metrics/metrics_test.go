@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+var rel = map[string]bool{"a": true, "c": true}
+
+func TestPrecisionAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c", "d"}
+	tests := []struct {
+		k    int
+		want float64
+	}{
+		{1, 1}, {2, 0.5}, {3, 2.0 / 3}, {4, 0.5}, {10, 0.5}, {0, 0},
+	}
+	for _, tc := range tests {
+		if got := PrecisionAtK(ranked, rel, tc.k); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("P@%d = %v, want %v", tc.k, got, tc.want)
+		}
+	}
+	if got := PrecisionAtK(nil, rel, 5); got != 0 {
+		t.Errorf("P@k empty list = %v", got)
+	}
+}
+
+func TestRecallAtK(t *testing.T) {
+	ranked := []string{"a", "b", "c", "d"}
+	if got := RecallAtK(ranked, rel, 1); got != 0.5 {
+		t.Errorf("R@1 = %v, want 0.5", got)
+	}
+	if got := RecallAtK(ranked, rel, 4); got != 1 {
+		t.Errorf("R@4 = %v, want 1", got)
+	}
+	if got := RecallAtK(ranked, map[string]bool{}, 4); got != 1 {
+		t.Errorf("R with no relevant = %v, want 1", got)
+	}
+	if got := RecallAtK(nil, rel, 3); got != 0 {
+		t.Errorf("R empty = %v, want 0", got)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	if got := MRR([]string{"x", "a"}, rel); got != 0.5 {
+		t.Errorf("MRR = %v, want 0.5", got)
+	}
+	if got := MRR([]string{"x", "y"}, rel); got != 0 {
+		t.Errorf("MRR no hit = %v, want 0", got)
+	}
+}
+
+func TestAveragePrecision(t *testing.T) {
+	// relevant at ranks 1 and 3: AP = (1/1 + 2/3)/2 = 5/6.
+	got := AveragePrecision([]string{"a", "b", "c"}, rel)
+	if math.Abs(got-5.0/6) > 1e-12 {
+		t.Errorf("AP = %v, want 5/6", got)
+	}
+	if got := AveragePrecision([]string{"a"}, map[string]bool{}); got != 0 {
+		t.Errorf("AP no relevant = %v, want 0", got)
+	}
+}
+
+func TestDetectionLatencies(t *testing.T) {
+	starts := map[string]time.Time{
+		"evt1": t0,
+		"evt2": t0.Add(time.Hour),
+		"evt3": t0.Add(2 * time.Hour),
+	}
+	dets := []Detection{
+		{ID: "evt1", At: t0.Add(30 * time.Minute)},
+		{ID: "evt1", At: t0.Add(10 * time.Minute)}, // earlier duplicate wins
+		{ID: "evt2", At: t0.Add(30 * time.Minute)}, // before start → zero delay
+	}
+	ls := DetectionLatencies(starts, dets)
+	if len(ls) != 3 {
+		t.Fatalf("latencies = %+v", ls)
+	}
+	if ls[0].ID != "evt1" || !ls[0].Detected || ls[0].Delay != 10*time.Minute {
+		t.Errorf("evt1 = %+v", ls[0])
+	}
+	if !ls[1].Detected || ls[1].Delay != 0 {
+		t.Errorf("evt2 = %+v", ls[1])
+	}
+	if ls[2].Detected {
+		t.Errorf("evt3 = %+v, want undetected", ls[2])
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	ls := []Latency{
+		{ID: "a", Detected: true, Delay: 2 * time.Hour},
+		{ID: "b", Detected: true, Delay: 4 * time.Hour},
+		{ID: "c", Detected: false},
+	}
+	s := Summarize(ls)
+	if s.Events != 3 || s.Detected != 2 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if s.MeanDelay != 3*time.Hour || s.MaxDelay != 4*time.Hour {
+		t.Errorf("delays = mean %v max %v", s.MeanDelay, s.MaxDelay)
+	}
+	if got := s.Rate(); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("Rate = %v", got)
+	}
+	if got := (Summary{}).Rate(); got != 1 {
+		t.Errorf("empty Rate = %v, want 1", got)
+	}
+}
+
+// Property: precision and recall are always within [0,1], and recall is
+// monotone non-decreasing in k.
+func TestMetricBounds(t *testing.T) {
+	f := func(ids []string, relIdx []uint8) bool {
+		relevant := map[string]bool{}
+		for _, i := range relIdx {
+			if len(ids) > 0 {
+				relevant[ids[int(i)%len(ids)]] = true
+			}
+		}
+		prevRecall := 0.0
+		for k := 0; k <= len(ids)+2; k++ {
+			p := PrecisionAtK(ids, relevant, k)
+			r := RecallAtK(ids, relevant, k)
+			if p < 0 || p > 1 || r < 0 || r > 1 {
+				return false
+			}
+			if r < prevRecall-1e-12 {
+				return false
+			}
+			prevRecall = r
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

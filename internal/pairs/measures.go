@@ -1,0 +1,200 @@
+// Package pairs implements stage (ii) of the paper — correlation tracking:
+// "For each tag pair that contains at least one seed tag, we keep track of
+// their correlations. For each such pair, we continuously monitor the amount
+// of documents that are annotated with both tags."
+//
+// The package provides canonical pair keys, windowed co-occurrence counting
+// with candidate generation from a seed predicate, a family of set-overlap
+// correlation measures, and the information-theoretic alternative the paper
+// mentions (relative entropy over tag-usage distributions).
+package pairs
+
+import (
+	"fmt"
+	"math"
+)
+
+// Measure identifies a correlation measure over windowed counts: nab
+// documents carrying both tags, na and nb documents carrying each tag, and
+// n total documents in the window. All measures return values in [0, 1]
+// (degenerate inputs return 0) so prediction errors are comparable across
+// measures.
+type Measure int
+
+const (
+	// Jaccard is |A∩B| / |A∪B|, the default overlap measure.
+	Jaccard Measure = iota
+	// Dice is 2|A∩B| / (|A|+|B|).
+	Dice
+	// Cosine is |A∩B| / sqrt(|A|·|B|).
+	Cosine
+	// NPMI is normalised pointwise mutual information mapped to [0,1]:
+	// (pmi / -log p(a,b) + 1) / 2.
+	NPMI
+	// Overlap is |A∩B| / min(|A|,|B|) (Szymkiewicz–Simpson).
+	Overlap
+	// Confidence is max(|A∩B|/|A|, |A∩B|/|B|): the stronger of the two
+	// association-rule confidences.
+	Confidence
+)
+
+// measures lists the implemented measures; used by ablation sweeps.
+var measureNames = map[Measure]string{
+	Jaccard:    "jaccard",
+	Dice:       "dice",
+	Cosine:     "cosine",
+	NPMI:       "npmi",
+	Overlap:    "overlap",
+	Confidence: "confidence",
+}
+
+// AllMeasures returns every implemented measure, in declaration order.
+func AllMeasures() []Measure {
+	return []Measure{Jaccard, Dice, Cosine, NPMI, Overlap, Confidence}
+}
+
+// String returns the measure name.
+func (m Measure) String() string {
+	if s, ok := measureNames[m]; ok {
+		return s
+	}
+	return fmt.Sprintf("measure(%d)", int(m))
+}
+
+// ParseMeasure resolves a measure by name.
+func ParseMeasure(name string) (Measure, error) {
+	for m, s := range measureNames {
+		if s == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("pairs: unknown measure %q", name)
+}
+
+// Compute evaluates the measure on windowed counts. Counts are clamped to
+// consistency before use: nab may not exceed na, nb, or n.
+func (m Measure) Compute(nab, na, nb, n float64) float64 {
+	if nab < 0 || na <= 0 || nb <= 0 {
+		return 0
+	}
+	if nab > na {
+		nab = na
+	}
+	if nab > nb {
+		nab = nb
+	}
+	if n > 0 && nab > n {
+		nab = n
+	}
+	switch m {
+	case Jaccard:
+		union := na + nb - nab
+		if union <= 0 {
+			return 0
+		}
+		return nab / union
+	case Dice:
+		return 2 * nab / (na + nb)
+	case Cosine:
+		return nab / math.Sqrt(na*nb)
+	case NPMI:
+		if n <= 0 || nab == 0 {
+			return 0
+		}
+		pab := nab / n
+		pa, pb := na/n, nb/n
+		if pab >= 1 {
+			return 1
+		}
+		pmi := math.Log(pab / (pa * pb))
+		npmi := pmi / -math.Log(pab) // in [-1, 1]
+		return (npmi + 1) / 2
+	case Overlap:
+		return nab / math.Min(na, nb)
+	case Confidence:
+		return math.Max(nab/na, nab/nb)
+	default:
+		return 0
+	}
+}
+
+// KLDivergence returns the Kullback–Leibler divergence D(p‖q) between two
+// discrete distributions given as count maps, with add-lambda smoothing over
+// the union support. The paper: "we can apply information-theory measures
+// like relative entropy to assess the similarity of tag/term usage."
+func KLDivergence(p, q map[string]float64, lambda float64) float64 {
+	if lambda <= 0 {
+		lambda = 1e-3
+	}
+	support := make(map[string]bool, len(p)+len(q))
+	var pTotal, qTotal float64
+	for k, v := range p {
+		support[k] = true
+		pTotal += v
+	}
+	for k, v := range q {
+		support[k] = true
+		qTotal += v
+	}
+	if len(support) == 0 {
+		return 0
+	}
+	v := float64(len(support))
+	pTotal += lambda * v
+	qTotal += lambda * v
+	var d float64
+	for k := range support {
+		pk := (p[k] + lambda) / pTotal
+		qk := (q[k] + lambda) / qTotal
+		d += pk * math.Log(pk/qk)
+	}
+	if d < 0 {
+		d = 0 // numeric noise on identical distributions
+	}
+	return d
+}
+
+// JSDistance returns the Jensen–Shannon distance (square root of the JS
+// divergence, base-2) between two count maps: a symmetric, bounded [0, 1]
+// relative-entropy similarity suitable as a correlation signal.
+func JSDistance(p, q map[string]float64) float64 {
+	support := make(map[string]bool, len(p)+len(q))
+	var pTotal, qTotal float64
+	for k, v := range p {
+		if v > 0 {
+			support[k] = true
+			pTotal += v
+		}
+	}
+	for k, v := range q {
+		if v > 0 {
+			support[k] = true
+			qTotal += v
+		}
+	}
+	if pTotal == 0 || qTotal == 0 {
+		if pTotal == qTotal {
+			return 0
+		}
+		return 1
+	}
+	var js float64
+	for k := range support {
+		pk := p[k] / pTotal
+		qk := q[k] / qTotal
+		m := (pk + qk) / 2
+		if pk > 0 {
+			js += pk / 2 * math.Log2(pk/m)
+		}
+		if qk > 0 {
+			js += qk / 2 * math.Log2(qk/m)
+		}
+	}
+	if js < 0 {
+		js = 0
+	}
+	if js > 1 {
+		js = 1
+	}
+	return math.Sqrt(js)
+}

@@ -1,0 +1,320 @@
+package pairs
+
+import (
+	"sort"
+	"time"
+
+	"enblogue/internal/window"
+)
+
+// Key identifies an unordered tag pair; Tag1 < Tag2 canonically.
+type Key struct {
+	Tag1, Tag2 string
+}
+
+// MakeKey returns the canonical key for tags a and b.
+func MakeKey(a, b string) Key {
+	if b < a {
+		a, b = b, a
+	}
+	return Key{Tag1: a, Tag2: b}
+}
+
+// Contains reports whether the pair includes tag.
+func (k Key) Contains(tag string) bool { return k.Tag1 == tag || k.Tag2 == tag }
+
+// Other returns the tag paired with the given one, and whether tag is part
+// of the pair at all.
+func (k Key) Other(tag string) (string, bool) {
+	switch tag {
+	case k.Tag1:
+		return k.Tag2, true
+	case k.Tag2:
+		return k.Tag1, true
+	}
+	return "", false
+}
+
+// String renders the pair as "tag1+tag2".
+func (k Key) String() string { return k.Tag1 + "+" + k.Tag2 }
+
+// Config parameterises a Tracker.
+type Config struct {
+	// Buckets and Resolution define the co-occurrence sliding window.
+	Buckets    int
+	Resolution time.Duration
+	// MaxPairs caps tracked pairs; when exceeded at sweep time the pairs
+	// with the smallest windowed co-occurrence are evicted first. Zero
+	// means 100000.
+	MaxPairs int
+	// SweepEvery controls eviction frequency in observed documents.
+	// Zero means 2048.
+	SweepEvery int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Buckets == 0 {
+		out.Buckets = 48
+	}
+	if out.Resolution == 0 {
+		out.Resolution = time.Hour
+	}
+	if out.MaxPairs == 0 {
+		out.MaxPairs = 100000
+	}
+	if out.SweepEvery == 0 {
+		out.SweepEvery = 2048
+	}
+	return out
+}
+
+// Tracker maintains windowed co-occurrence counts for candidate tag pairs.
+// Candidates are generated per document: every unordered pair of distinct
+// document tags of which at least one satisfies the seed predicate ("pairs
+// of tags that contain at least one seed tag"). Not safe for concurrent use.
+type Tracker struct {
+	cfg     Config
+	pairs   map[Key]*window.Counter
+	now     time.Time
+	sinceGC int
+}
+
+// NewTracker returns a pair tracker with the given configuration.
+func NewTracker(cfg Config) *Tracker {
+	c := cfg.withDefaults()
+	return &Tracker{cfg: c, pairs: make(map[Key]*window.Counter)}
+}
+
+// Span returns the co-occurrence window span.
+func (tr *Tracker) Span() time.Duration {
+	return time.Duration(tr.cfg.Buckets) * tr.cfg.Resolution
+}
+
+// Observe records one document's tag set at time t, incrementing the
+// co-occurrence count of every candidate pair. isSeed decides candidacy; a
+// nil isSeed treats every tag as a seed (all pairs tracked).
+func (tr *Tracker) Observe(t time.Time, tags []string, isSeed func(string) bool) {
+	if t.After(tr.now) {
+		tr.now = t
+	}
+	if len(tags) < 2 {
+		tr.maybeSweep()
+		return
+	}
+	// Deduplicate the document's tags; pair generation assumes a set.
+	uniq := tags[:0:0]
+	seen := make(map[string]bool, len(tags))
+	for _, tag := range tags {
+		if tag == "" || seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		uniq = append(uniq, tag)
+	}
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			if isSeed != nil && !isSeed(uniq[i]) && !isSeed(uniq[j]) {
+				continue
+			}
+			k := MakeKey(uniq[i], uniq[j])
+			c, ok := tr.pairs[k]
+			if !ok {
+				c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
+				tr.pairs[k] = c
+			}
+			c.Inc(t)
+		}
+	}
+	tr.maybeSweep()
+}
+
+func (tr *Tracker) maybeSweep() {
+	tr.sinceGC++
+	if tr.sinceGC < tr.cfg.SweepEvery && len(tr.pairs) <= tr.cfg.MaxPairs {
+		return
+	}
+	tr.sinceGC = 0
+	for k, c := range tr.pairs {
+		c.Observe(tr.now)
+		if c.Value() == 0 {
+			delete(tr.pairs, k)
+		}
+	}
+	if len(tr.pairs) <= tr.cfg.MaxPairs {
+		return
+	}
+	// Still over budget: evict the smallest co-occurrence counts.
+	type kc struct {
+		k Key
+		v float64
+	}
+	all := make([]kc, 0, len(tr.pairs))
+	for k, c := range tr.pairs {
+		all = append(all, kc{k, c.Value()})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v < all[j].v
+		}
+		return all[i].k.String() < all[j].k.String()
+	})
+	for _, e := range all[:len(all)-tr.cfg.MaxPairs] {
+		delete(tr.pairs, e.k)
+	}
+}
+
+// Cooccurrence returns the number of windowed documents carrying both tags
+// of the pair.
+func (tr *Tracker) Cooccurrence(k Key) float64 {
+	c, ok := tr.pairs[k]
+	if !ok {
+		return 0
+	}
+	c.Observe(tr.now)
+	return c.Value()
+}
+
+// Series returns the per-bucket co-occurrence counts of the pair, oldest
+// first, or nil if the pair is not tracked.
+func (tr *Tracker) Series(k Key) []float64 {
+	c, ok := tr.pairs[k]
+	if !ok {
+		return nil
+	}
+	c.Observe(tr.now)
+	return c.Series()
+}
+
+// ActivePairs returns the number of pairs currently tracked.
+func (tr *Tracker) ActivePairs() int { return len(tr.pairs) }
+
+// Keys returns all tracked pair keys in unspecified order. The slice is
+// freshly allocated.
+func (tr *Tracker) Keys() []Key {
+	out := make([]Key, 0, len(tr.pairs))
+	for k := range tr.pairs {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysSorted returns all tracked pair keys sorted lexicographically, for
+// deterministic iteration in evaluation ticks.
+func (tr *Tracker) KeysSorted() []Key {
+	out := tr.Keys()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tag1 != out[j].Tag1 {
+			return out[i].Tag1 < out[j].Tag1
+		}
+		return out[i].Tag2 < out[j].Tag2
+	})
+	return out
+}
+
+// Correlation evaluates measure m for the pair using the supplied per-tag
+// windowed counts and total document count.
+func (tr *Tracker) Correlation(k Key, m Measure, na, nb, n float64) float64 {
+	return m.Compute(tr.Cooccurrence(k), na, nb, n)
+}
+
+// DistTracker maintains, per tag, the windowed distribution of tags that
+// co-occur with it — the "documents represented by their entire tag sets"
+// variant. Correlation between two tags is then a relative-entropy
+// similarity of their co-tag usage distributions.
+type DistTracker struct {
+	cfg     Config
+	byTag   map[string]map[string]*window.Counter
+	now     time.Time
+	sinceGC int
+}
+
+// NewDistTracker returns a distribution tracker with the given window.
+func NewDistTracker(cfg Config) *DistTracker {
+	c := cfg.withDefaults()
+	return &DistTracker{cfg: c, byTag: make(map[string]map[string]*window.Counter)}
+}
+
+// Observe records the co-tag distribution contributions of one document.
+func (dt *DistTracker) Observe(t time.Time, tags []string) {
+	if t.After(dt.now) {
+		dt.now = t
+	}
+	seen := make(map[string]bool, len(tags))
+	uniq := tags[:0:0]
+	for _, tag := range tags {
+		if tag == "" || seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		uniq = append(uniq, tag)
+	}
+	for _, a := range uniq {
+		for _, b := range uniq {
+			if a == b {
+				continue
+			}
+			m, ok := dt.byTag[a]
+			if !ok {
+				m = make(map[string]*window.Counter)
+				dt.byTag[a] = m
+			}
+			c, ok := m[b]
+			if !ok {
+				c = window.NewCounter(dt.cfg.Buckets, dt.cfg.Resolution)
+				m[b] = c
+			}
+			c.Inc(t)
+		}
+	}
+	dt.sinceGC++
+	if dt.sinceGC >= dt.cfg.SweepEvery {
+		dt.sweep()
+	}
+}
+
+func (dt *DistTracker) sweep() {
+	dt.sinceGC = 0
+	for tag, m := range dt.byTag {
+		for co, c := range m {
+			c.Observe(dt.now)
+			if c.Value() == 0 {
+				delete(m, co)
+			}
+		}
+		if len(m) == 0 {
+			delete(dt.byTag, tag)
+		}
+	}
+}
+
+// Distribution returns tag's windowed co-tag counts as a map. The map is
+// freshly allocated.
+func (dt *DistTracker) Distribution(tag string) map[string]float64 {
+	m, ok := dt.byTag[tag]
+	if !ok {
+		return nil
+	}
+	out := make(map[string]float64, len(m))
+	for co, c := range m {
+		c.Observe(dt.now)
+		if v := c.Value(); v > 0 {
+			out[co] = v
+		}
+	}
+	return out
+}
+
+// Similarity returns 1 − JSDistance between the co-tag distributions of the
+// two tags: 1 for identical usage, 0 for disjoint. This is the bounded
+// relative-entropy correlation the paper sketches for distribution-valued
+// documents. The pair members themselves are excluded from both
+// distributions: the comparison asks whether a and b keep the same
+// *company*, and each is trivially its partner's company.
+func (dt *DistTracker) Similarity(a, b string) float64 {
+	da := dt.Distribution(a)
+	delete(da, b)
+	db := dt.Distribution(b)
+	delete(db, a)
+	return 1 - JSDistance(da, db)
+}

@@ -1,0 +1,42 @@
+package persona_test
+
+import (
+	"fmt"
+
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+)
+
+func ExampleRerank() {
+	topics := []persona.Topic{
+		{Pair: pairs.MakeKey("election", "recount"), Score: 0.9},
+		{Pair: pairs.MakeKey("iceland", "volcano"), Score: 0.4},
+	}
+	traveller := &persona.Profile{
+		Name:     "traveller",
+		Keywords: []string{"volcano"},
+		Boost:    4,
+	}
+	for i, t := range persona.Rerank(topics, traveller) {
+		fmt.Printf("%d. %s (%.1f)\n", i+1, t.Pair, t.Score)
+	}
+	// Output:
+	// 1. iceland+volcano (1.6)
+	// 2. election+recount (0.9)
+}
+
+func ExampleProfile_exclusive() {
+	topics := []persona.Topic{
+		{Pair: pairs.MakeKey("election", "recount"), Score: 0.9},
+		{Pair: pairs.MakeKey("iceland", "volcano"), Score: 0.4},
+	}
+	onlyVolcanoes := &persona.Profile{
+		Name:      "volcanologist",
+		Keywords:  []string{"volcano"},
+		Exclusive: true, // drop everything off-interest
+	}
+	out := persona.Rerank(topics, onlyVolcanoes)
+	fmt.Println(len(out), "topic:", out[0].Pair)
+	// Output:
+	// 1 topic: iceland+volcano
+}

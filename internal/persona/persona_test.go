@@ -1,0 +1,164 @@
+package persona
+
+import (
+	"reflect"
+	"testing"
+
+	"enblogue/internal/pairs"
+)
+
+func topics(ts ...Topic) []Topic { return ts }
+
+func TestMatchTag(t *testing.T) {
+	p := &Profile{
+		Keywords:   []string{"Volcano", "air"},
+		Categories: []string{"Sports"},
+	}
+	tests := []struct {
+		tag  string
+		want bool
+	}{
+		{"volcano", true},
+		{"VOLCANO", true},
+		{"air-traffic", true}, // substring keyword match
+		{"sports", true},      // category exact match
+		{"sportsman", false},  // categories match exactly only
+		{"politics", false},
+		{"", false},
+	}
+	for _, tc := range tests {
+		if got := p.MatchTag(tc.tag); got != tc.want {
+			t.Errorf("MatchTag(%q) = %v, want %v", tc.tag, got, tc.want)
+		}
+	}
+}
+
+func TestMatchesAndWeight(t *testing.T) {
+	p := &Profile{Keywords: []string{"iceland", "volcano"}, Boost: 2}
+	k2 := pairs.MakeKey("iceland", "volcano")
+	k1 := pairs.MakeKey("iceland", "airport")
+	k0 := pairs.MakeKey("sports", "tennis")
+	if got := p.Matches(k2); got != 2 {
+		t.Errorf("Matches(both) = %d, want 2", got)
+	}
+	if got := p.Weight(k2); got != 4 {
+		t.Errorf("Weight(both) = %v, want 4 (boost²)", got)
+	}
+	if got := p.Weight(k1); got != 2 {
+		t.Errorf("Weight(one) = %v, want 2", got)
+	}
+	if got := p.Weight(k0); got != 1 {
+		t.Errorf("Weight(none) = %v, want 1", got)
+	}
+	p.Exclusive = true
+	if got := p.Weight(k0); got != 0 {
+		t.Errorf("Exclusive Weight(none) = %v, want 0", got)
+	}
+}
+
+func TestDefaultBoost(t *testing.T) {
+	p := &Profile{Keywords: []string{"x"}}
+	if got := p.Weight(pairs.MakeKey("x", "y")); got != 3 {
+		t.Errorf("default boost weight = %v, want 3", got)
+	}
+}
+
+func TestRerankReorders(t *testing.T) {
+	in := topics(
+		Topic{Pair: pairs.MakeKey("economy", "election"), Score: 10},
+		Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 4},
+		Topic{Pair: pairs.MakeKey("tennis", "final"), Score: 6},
+	)
+	p := &Profile{Keywords: []string{"volcano"}, Boost: 5}
+	out := Rerank(in, p)
+	if out[0].Pair != pairs.MakeKey("iceland", "volcano") {
+		t.Errorf("boosted topic not first: %+v", out)
+	}
+	if out[0].Score != 20 {
+		t.Errorf("boosted score = %v, want 20", out[0].Score)
+	}
+	// Input order untouched.
+	if in[1].Score != 4 {
+		t.Error("Rerank mutated its input")
+	}
+}
+
+func TestRerankExclusiveFilters(t *testing.T) {
+	in := topics(
+		Topic{Pair: pairs.MakeKey("economy", "election"), Score: 10},
+		Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 4},
+	)
+	p := &Profile{Categories: []string{"volcano"}, Exclusive: true}
+	out := Rerank(in, p)
+	if len(out) != 1 || out[0].Pair.Tag1 != "iceland" {
+		t.Errorf("Exclusive Rerank = %+v, want only volcano topic", out)
+	}
+}
+
+func TestRerankEmptyProfilePreservesScoreOrder(t *testing.T) {
+	in := topics(
+		Topic{Pair: pairs.MakeKey("b", "c"), Score: 1},
+		Topic{Pair: pairs.MakeKey("a", "d"), Score: 7},
+	)
+	out := Rerank(in, &Profile{})
+	if out[0].Score != 7 || out[1].Score != 1 {
+		t.Errorf("empty profile order = %+v", out)
+	}
+	out = Rerank(in, nil)
+	if out[0].Score != 7 {
+		t.Errorf("nil profile order = %+v", out)
+	}
+}
+
+func TestRerankDeterministicTies(t *testing.T) {
+	in := topics(
+		Topic{Pair: pairs.MakeKey("z", "y"), Score: 5},
+		Topic{Pair: pairs.MakeKey("a", "b"), Score: 5},
+	)
+	out := Rerank(in, nil)
+	if out[0].Pair.Tag1 != "a" {
+		t.Errorf("tie order = %+v, want a+b first", out)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Set(&Profile{Name: "alice", Keywords: []string{"volcano"}})
+	r.Set(&Profile{Name: "bob", Categories: []string{"sports"}})
+	r.Set(&Profile{}) // no name: ignored
+	r.Set(nil)
+	if got := r.Names(); !reflect.DeepEqual(got, []string{"alice", "bob"}) {
+		t.Errorf("Names = %v", got)
+	}
+	if r.Get("alice") == nil || r.Get("carol") != nil {
+		t.Error("Get wrong")
+	}
+	// Set stores a copy: mutating the original must not affect the registry.
+	p := &Profile{Name: "dave", Boost: 2}
+	r.Set(p)
+	p.Boost = 99
+	if r.Get("dave").Boost != 2 {
+		t.Error("registry did not copy profile")
+	}
+	r.Remove("bob")
+	if r.Get("bob") != nil {
+		t.Error("Remove failed")
+	}
+}
+
+func TestRerankAll(t *testing.T) {
+	r := NewRegistry()
+	r.Set(&Profile{Name: "volcano-fan", Keywords: []string{"volcano"}, Boost: 10})
+	r.Set(&Profile{Name: "sports-fan", Categories: []string{"tennis"}, Boost: 10})
+	in := topics(
+		Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 5},
+		Topic{Pair: pairs.MakeKey("tennis", "final"), Score: 5},
+	)
+	views := r.RerankAll(in)
+	if views["volcano-fan"][0].Pair.Tag2 != "volcano" {
+		t.Errorf("volcano-fan view = %+v", views["volcano-fan"])
+	}
+	if views["sports-fan"][0].Pair.Tag1 != "final" {
+		t.Errorf("sports-fan view = %+v", views["sports-fan"])
+	}
+}

@@ -1,0 +1,97 @@
+package persona
+
+import (
+	"sort"
+	"time"
+
+	"enblogue/internal/pairs"
+)
+
+// Alert notifies a user that a topic matching their standing preferences
+// newly entered their personalized top-k — the paper's promise that users
+// "want to be automatically notified about a newly arising topic that is
+// about to become hot".
+type Alert struct {
+	User  string
+	Pair  pairs.Key
+	Rank  int // 0-based rank in the user's personalized list
+	Score float64
+	At    time.Time
+}
+
+// Watcher turns per-tick topic lists into per-user alerts. A user is
+// alerted the first time a topic appears in their personalized top-k, and
+// again only after the topic has left it (re-emergence). Not safe for
+// concurrent use; call Observe from the ranking goroutine.
+type Watcher struct {
+	registry *Registry
+	k        int
+	// active tracks, per user, the topics currently inside their top-k.
+	active map[string]map[pairs.Key]bool
+}
+
+// NewWatcher returns a watcher alerting on entries into each user's top-k.
+// k <= 0 means 10.
+func NewWatcher(registry *Registry, k int) *Watcher {
+	if k <= 0 {
+		k = 10
+	}
+	return &Watcher{
+		registry: registry,
+		k:        k,
+		active:   make(map[string]map[pairs.Key]bool),
+	}
+}
+
+// Observe processes one tick's topics and returns the alerts it triggers,
+// ordered by (user, rank). Matching profiles see their personalized
+// rankings; for alert purposes only matching topics can alert — a user
+// with preferences is not alerted about unrelated topics that drift
+// through their list, while an empty profile alerts on everything in the
+// top-k.
+func (w *Watcher) Observe(at time.Time, topics []Topic) []Alert {
+	var alerts []Alert
+	for _, name := range w.registry.Names() {
+		p := w.registry.Get(name)
+		view := Rerank(topics, p)
+		if len(view) > w.k {
+			view = view[:w.k]
+		}
+		cur := make(map[pairs.Key]bool, len(view))
+		prev := w.active[name]
+		for i, t := range view {
+			if !p.Empty() && p.Matches(t.Pair) == 0 {
+				continue // unrelated topic drifting through the list
+			}
+			cur[t.Pair] = true
+			if prev[t.Pair] {
+				continue // already alerted while it stays in the top-k
+			}
+			alerts = append(alerts, Alert{
+				User:  name,
+				Pair:  t.Pair,
+				Rank:  i,
+				Score: t.Score,
+				At:    at,
+			})
+		}
+		w.active[name] = cur
+	}
+	sort.Slice(alerts, func(i, j int) bool {
+		if alerts[i].User != alerts[j].User {
+			return alerts[i].User < alerts[j].User
+		}
+		return alerts[i].Rank < alerts[j].Rank
+	})
+	return alerts
+}
+
+// Reset forgets all active state (e.g. after a profile change, so the user
+// is re-alerted under their new preferences).
+func (w *Watcher) Reset(user string) {
+	if user == "" {
+		w.active = make(map[string]map[pairs.Key]bool)
+		return
+	}
+	delete(w.active, user)
+}

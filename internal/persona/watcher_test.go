@@ -1,0 +1,122 @@
+package persona
+
+import (
+	"testing"
+	"time"
+
+	"enblogue/internal/pairs"
+)
+
+var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func newWatcher(k int) (*Registry, *Watcher) {
+	r := NewRegistry()
+	r.Set(&Profile{Name: "alice", Keywords: []string{"volcano"}})
+	r.Set(&Profile{Name: "bob"}) // empty profile: alerts on everything
+	return r, NewWatcher(r, k)
+}
+
+func TestWatcherAlertsOnEntry(t *testing.T) {
+	_, w := newWatcher(5)
+	alerts := w.Observe(t0, topics(
+		Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 3},
+		Topic{Pair: pairs.MakeKey("tennis", "final"), Score: 5},
+	))
+	// alice: only the volcano topic (keyword match); bob: both.
+	if len(alerts) != 3 {
+		t.Fatalf("alerts = %+v", alerts)
+	}
+	if alerts[0].User != "alice" || !alerts[0].Pair.Contains("volcano") {
+		t.Errorf("alerts[0] = %+v", alerts[0])
+	}
+	if alerts[1].User != "bob" || alerts[1].Rank != 0 {
+		t.Errorf("alerts[1] = %+v", alerts[1])
+	}
+}
+
+func TestWatcherNoRepeatWhileActive(t *testing.T) {
+	_, w := newWatcher(5)
+	ts := topics(Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 3})
+	if got := w.Observe(t0, ts); len(got) == 0 {
+		t.Fatal("no initial alert")
+	}
+	if got := w.Observe(t0.Add(time.Hour), ts); len(got) != 0 {
+		t.Errorf("repeated alert while topic stays ranked: %+v", got)
+	}
+}
+
+func TestWatcherRealertsAfterLeaving(t *testing.T) {
+	_, w := newWatcher(5)
+	volcano := topics(Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 3})
+	w.Observe(t0, volcano)
+	// Topic leaves the ranking entirely.
+	w.Observe(t0.Add(time.Hour), nil)
+	got := w.Observe(t0.Add(2*time.Hour), volcano)
+	users := map[string]bool{}
+	for _, a := range got {
+		users[a.User] = true
+	}
+	if !users["alice"] || !users["bob"] {
+		t.Errorf("re-emergence alerts = %+v", got)
+	}
+}
+
+func TestWatcherTopKBoundary(t *testing.T) {
+	r := NewRegistry()
+	r.Set(&Profile{Name: "u"})
+	w := NewWatcher(r, 1)
+	ts := topics(
+		Topic{Pair: pairs.MakeKey("a", "b"), Score: 5},
+		Topic{Pair: pairs.MakeKey("c", "d"), Score: 3},
+	)
+	alerts := w.Observe(t0, ts)
+	if len(alerts) != 1 || alerts[0].Pair != pairs.MakeKey("a", "b") {
+		t.Errorf("k=1 alerts = %+v", alerts)
+	}
+	// c+d overtakes a+b: one new alert for c+d.
+	ts2 := topics(
+		Topic{Pair: pairs.MakeKey("c", "d"), Score: 9},
+		Topic{Pair: pairs.MakeKey("a", "b"), Score: 5},
+	)
+	alerts = w.Observe(t0.Add(time.Hour), ts2)
+	if len(alerts) != 1 || alerts[0].Pair != pairs.MakeKey("c", "d") {
+		t.Errorf("overtake alerts = %+v", alerts)
+	}
+}
+
+func TestWatcherExclusiveProfile(t *testing.T) {
+	r := NewRegistry()
+	r.Set(&Profile{Name: "only-volcano", Keywords: []string{"volcano"}, Exclusive: true})
+	w := NewWatcher(r, 5)
+	alerts := w.Observe(t0, topics(
+		Topic{Pair: pairs.MakeKey("tennis", "final"), Score: 9},
+		Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 1},
+	))
+	if len(alerts) != 1 || alerts[0].Rank != 0 {
+		t.Errorf("exclusive alerts = %+v (volcano should be rank 0 after filtering)", alerts)
+	}
+}
+
+func TestWatcherReset(t *testing.T) {
+	_, w := newWatcher(5)
+	ts := topics(Topic{Pair: pairs.MakeKey("iceland", "volcano"), Score: 3})
+	w.Observe(t0, ts)
+	w.Reset("alice")
+	got := w.Observe(t0.Add(time.Hour), ts)
+	if len(got) != 1 || got[0].User != "alice" {
+		t.Errorf("post-reset alerts = %+v, want alice re-alerted only", got)
+	}
+	w.Reset("") // full reset
+	got = w.Observe(t0.Add(2*time.Hour), ts)
+	if len(got) != 2 {
+		t.Errorf("post-full-reset alerts = %+v", got)
+	}
+}
+
+func TestWatcherDefaultK(t *testing.T) {
+	r := NewRegistry()
+	w := NewWatcher(r, 0)
+	if w.k != 10 {
+		t.Errorf("default k = %d", w.k)
+	}
+}

@@ -1,0 +1,219 @@
+// Package rank provides top-k selection over scored topics, ranked-list
+// diffing for the push front-end ("watch how the rankings for these topics
+// changes with time"), and rank-correlation statistics used to quantify
+// personalization effects (show case 3).
+package rank
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Entry is a scored, identified ranking candidate.
+type Entry struct {
+	ID    string
+	Score float64
+}
+
+// entryHeap is a min-heap on (Score, then reverse ID) so the weakest entry
+// sits at the root. Ties prefer evicting the lexicographically larger ID,
+// making top-k fully deterministic.
+type entryHeap []Entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].Score != h[j].Score {
+		return h[i].Score < h[j].Score
+	}
+	return h[i].ID > h[j].ID
+}
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *entryHeap) Push(x interface{}) { *h = append(*h, x.(Entry)) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// TopK retains the k highest-scoring entries offered to it, in O(log k) per
+// offer. The zero value is unusable; construct with NewTopK.
+type TopK struct {
+	k int
+	h entryHeap
+}
+
+// NewTopK returns a selector for the k best entries. It panics if k < 1.
+func NewTopK(k int) *TopK {
+	if k < 1 {
+		panic("rank: top-k capacity < 1")
+	}
+	return &TopK{k: k}
+}
+
+// Offer submits a candidate; it is retained only if it ranks in the current
+// top k.
+func (t *TopK) Offer(e Entry) {
+	if len(t.h) < t.k {
+		heap.Push(&t.h, e)
+		return
+	}
+	worst := t.h[0]
+	if e.Score > worst.Score || (e.Score == worst.Score && e.ID < worst.ID) {
+		t.h[0] = e
+		heap.Fix(&t.h, 0)
+	}
+}
+
+// Len returns the number of retained entries.
+func (t *TopK) Len() int { return len(t.h) }
+
+// Ranked returns the retained entries ordered best-first (descending score,
+// ties broken by ascending ID). The selector remains usable afterwards.
+func (t *TopK) Ranked() List {
+	out := make(List, len(t.h))
+	copy(out, t.h)
+	out.Sort()
+	return out
+}
+
+// List is a ranked list of entries, best first.
+type List []Entry
+
+// Sort orders the list descending by score, ties by ascending ID.
+func (l List) Sort() {
+	sort.Slice(l, func(i, j int) bool {
+		if l[i].Score != l[j].Score {
+			return l[i].Score > l[j].Score
+		}
+		return l[i].ID < l[j].ID
+	})
+}
+
+// IDs returns the entry IDs in list order.
+func (l List) IDs() []string {
+	out := make([]string, len(l))
+	for i, e := range l {
+		out[i] = e.ID
+	}
+	return out
+}
+
+// Positions maps each ID to its 0-based rank.
+func (l List) Positions() map[string]int {
+	out := make(map[string]int, len(l))
+	for i, e := range l {
+		out[e.ID] = i
+	}
+	return out
+}
+
+// Rank returns the 0-based position of id, or -1 when absent.
+func (l List) Rank(id string) int {
+	for i, e := range l {
+		if e.ID == id {
+			return i
+		}
+	}
+	return -1
+}
+
+// Move records one entry's rank change between two lists. From or To is -1
+// when the entry is absent on that side.
+type Move struct {
+	ID   string
+	From int
+	To   int
+}
+
+// Diff reports, for every ID present in prev or cur, its rank transition —
+// the data behind the front-end's live rank-change display. Unchanged ranks
+// are omitted. Moves are ordered by To (entries leaving the list last).
+func Diff(prev, cur List) []Move {
+	pp := prev.Positions()
+	cp := cur.Positions()
+	var moves []Move
+	for id, to := range cp {
+		from, ok := pp[id]
+		if !ok {
+			from = -1
+		}
+		if from != to {
+			moves = append(moves, Move{ID: id, From: from, To: to})
+		}
+	}
+	for id, from := range pp {
+		if _, ok := cp[id]; !ok {
+			moves = append(moves, Move{ID: id, From: from, To: -1})
+		}
+	}
+	sort.Slice(moves, func(i, j int) bool {
+		ti, tj := moves[i].To, moves[j].To
+		if ti == -1 {
+			ti = 1 << 30
+		}
+		if tj == -1 {
+			tj = 1 << 30
+		}
+		if ti != tj {
+			return ti < tj
+		}
+		return moves[i].ID < moves[j].ID
+	})
+	return moves
+}
+
+// Overlap returns |a ∩ b| / max(|a|, |b|): the fraction of shared IDs
+// between two ranked lists; 1 when both are empty.
+func Overlap(a, b List) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	bs := make(map[string]bool, len(b))
+	for _, e := range b {
+		bs[e.ID] = true
+	}
+	common := 0
+	for _, e := range a {
+		if bs[e.ID] {
+			common++
+		}
+	}
+	return float64(common) / float64(n)
+}
+
+// KendallTau returns the Kendall rank correlation coefficient between the
+// orderings of the IDs common to both lists: 1 for identical order, -1 for
+// reversed, 0 for uncorrelated. Lists sharing fewer than 2 IDs return 1
+// (no discordance is observable).
+func KendallTau(a, b List) float64 {
+	bp := b.Positions()
+	var common []string
+	for _, e := range a {
+		if _, ok := bp[e.ID]; ok {
+			common = append(common, e.ID)
+		}
+	}
+	n := len(common)
+	if n < 2 {
+		return 1
+	}
+	concordant, discordant := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			// common is in a-order, so a ranks i before j.
+			if bp[common[i]] < bp[common[j]] {
+				concordant++
+			} else {
+				discordant++
+			}
+		}
+	}
+	pairs := concordant + discordant
+	return float64(concordant-discordant) / float64(pairs)
+}

@@ -1,0 +1,130 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"time"
+
+	"enblogue/internal/history"
+	"enblogue/internal/pairs"
+)
+
+// AttachHistory connects a ranking history to the server: PublishRanking
+// records every tick into it, and the /history and /trajectory endpoints
+// answer time-range queries against it (show case 1's "users can specify
+// their own time ranges and see how the ranking changes").
+func (s *Server) AttachHistory(h *history.History) {
+	s.mu.Lock()
+	s.history = h
+	s.mu.Unlock()
+}
+
+// HistoryEntryView is the wire form of one range-query result row.
+type HistoryEntryView struct {
+	Tag1  string    `json:"tag1"`
+	Tag2  string    `json:"tag2"`
+	Score float64   `json:"score"`
+	Ticks int       `json:"ticks"`
+	First time.Time `json:"first"`
+	Last  time.Time `json:"last"`
+}
+
+// parseTimeParam parses an RFC 3339 query parameter, returning the zero
+// time for an absent value.
+func parseTimeParam(r *http.Request, name string) (time.Time, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return time.Time{}, nil
+	}
+	return time.Parse(time.RFC3339, v)
+}
+
+// handleHistory serves GET /history?from=RFC3339&to=RFC3339&k=10&agg=max.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.history
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "history not enabled", http.StatusNotFound)
+		return
+	}
+	from, err := parseTimeParam(r, "from")
+	if err != nil {
+		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseTimeParam(r, "to")
+	if err != nil {
+		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	k := 10
+	if v := r.URL.Query().Get("k"); v != "" {
+		k, err = strconv.Atoi(v)
+		if err != nil || k < 1 || k > 1000 {
+			http.Error(w, "bad k", http.StatusBadRequest)
+			return
+		}
+	}
+	agg, err := history.ParseAggregate(r.URL.Query().Get("agg"))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	entries := h.TopInRange(from, to, k, agg)
+	out := make([]HistoryEntryView, len(entries))
+	for i, e := range entries {
+		out[i] = HistoryEntryView{
+			Tag1: e.Pair.Tag1, Tag2: e.Pair.Tag2,
+			Score: e.Score, Ticks: e.Ticks, First: e.First, Last: e.Last,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// TrajectoryPointView is the wire form of one trajectory sample.
+type TrajectoryPointView struct {
+	At    time.Time `json:"at"`
+	Rank  int       `json:"rank"`
+	Score float64   `json:"score"`
+}
+
+// handleTrajectory serves GET /trajectory?tag1=a&tag2=b&from=&to=.
+func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := s.history
+	s.mu.Unlock()
+	if h == nil {
+		http.Error(w, "history not enabled", http.StatusNotFound)
+		return
+	}
+	t1 := r.URL.Query().Get("tag1")
+	t2 := r.URL.Query().Get("tag2")
+	if t1 == "" || t2 == "" {
+		http.Error(w, "tag1 and tag2 required", http.StatusBadRequest)
+		return
+	}
+	from, err := parseTimeParam(r, "from")
+	if err != nil {
+		http.Error(w, "bad from: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	to, err := parseTimeParam(r, "to")
+	if err != nil {
+		http.Error(w, "bad to: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	traj := h.Trajectory(pairs.MakeKey(t1, t2), from, to)
+	out := make([]TrajectoryPointView, len(traj))
+	for i, p := range traj {
+		out[i] = TrajectoryPointView{At: p.At, Rank: p.Rank, Score: p.Score}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

@@ -1,0 +1,354 @@
+// Package server is the push-based Web front-end: rankings are streamed to
+// browsers "in a push-based manner (i.e., without the user having to
+// continuously poll the server for updates on emergent topic rankings)".
+// The paper uses the Ajax Push Engine comet server; this implementation
+// uses standard-library HTTP with Server-Sent Events, which delivers the
+// same no-polling semantics to modern browsers (including mobile clients
+// over low-bandwidth connections — SSE frames are tiny deltas).
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/history"
+	"enblogue/internal/persona"
+	"enblogue/internal/rank"
+)
+
+// TopicView is the wire form of one ranked emergent topic.
+type TopicView struct {
+	Rank         int     `json:"rank"`
+	Tag1         string  `json:"tag1"`
+	Tag2         string  `json:"tag2"`
+	Score        float64 `json:"score"`
+	Correlation  float64 `json:"correlation"`
+	Cooccurrence float64 `json:"cooccurrence"`
+}
+
+// RankingView is the wire form of one tick's output, optionally
+// personalized per registered profile.
+type RankingView struct {
+	At       time.Time              `json:"at"`
+	Seeds    []string               `json:"seeds,omitempty"`
+	Topics   []TopicView            `json:"topics"`
+	Profiles map[string][]TopicView `json:"profiles,omitempty"`
+	Moves    []rank.Move            `json:"moves,omitempty"`
+	Alerts   []AlertView            `json:"alerts,omitempty"`
+}
+
+// AlertView is the wire form of one continuous-query notification: a topic
+// matching the user's standing preferences newly entered their top-k.
+type AlertView struct {
+	User  string  `json:"user"`
+	Tag1  string  `json:"tag1"`
+	Tag2  string  `json:"tag2"`
+	Rank  int     `json:"rank"`
+	Score float64 `json:"score"`
+}
+
+// Hub fans ranking updates out to connected SSE clients. Slow clients drop
+// frames rather than stalling the broadcaster.
+type Hub struct {
+	mu      sync.Mutex
+	clients map[chan []byte]bool
+	last    []byte
+}
+
+// NewHub returns an empty hub.
+func NewHub() *Hub {
+	return &Hub{clients: make(map[chan []byte]bool)}
+}
+
+// Broadcast marshals v and pushes it to every connected client. The frame
+// is retained so late joiners immediately receive the current state.
+func (h *Hub) Broadcast(v interface{}) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("server: marshaling broadcast: %w", err)
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.last = data
+	for ch := range h.clients {
+		select {
+		case ch <- data:
+		default: // client buffer full: drop this frame for that client
+		}
+	}
+	return nil
+}
+
+// subscribe registers a client channel and returns it with the latest
+// frame pre-queued.
+func (h *Hub) subscribe() chan []byte {
+	ch := make(chan []byte, 8)
+	h.mu.Lock()
+	if h.last != nil {
+		ch <- h.last
+	}
+	h.clients[ch] = true
+	h.mu.Unlock()
+	return ch
+}
+
+func (h *Hub) unsubscribe(ch chan []byte) {
+	h.mu.Lock()
+	delete(h.clients, ch)
+	h.mu.Unlock()
+}
+
+// ClientCount returns the number of connected SSE clients.
+func (h *Hub) ClientCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.clients)
+}
+
+// Last returns the most recently broadcast frame (nil before the first).
+func (h *Hub) Last() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.last
+}
+
+// Server exposes the enBlogue front-end endpoints:
+//
+//	GET  /            demo page (auto-connecting EventSource client)
+//	GET  /events      SSE stream of RankingView frames
+//	GET  /ranking     current RankingView snapshot (JSON)
+//	POST /profile     register/update a personalization profile (JSON)
+//	GET  /profiles    list registered profile names
+type Server struct {
+	hub      *Hub
+	registry *persona.Registry
+
+	mu       sync.Mutex
+	lastView RankingView
+	prevIDs  rank.List
+	history  *history.History
+	watcher  *persona.Watcher
+}
+
+// New returns a server with an empty profile registry.
+func New() *Server {
+	reg := persona.NewRegistry()
+	return &Server{
+		hub:      NewHub(),
+		registry: reg,
+		watcher:  persona.NewWatcher(reg, 10),
+	}
+}
+
+// Hub exposes the underlying broadcast hub (for tests and embedding).
+func (s *Server) Hub() *Hub { return s.hub }
+
+// Registry exposes the personalization registry.
+func (s *Server) Registry() *persona.Registry { return s.registry }
+
+// toViews converts topics to wire form.
+func toViews(topics []persona.Topic) []TopicView {
+	out := make([]TopicView, len(topics))
+	for i, t := range topics {
+		out[i] = TopicView{
+			Rank: i + 1, Tag1: t.Pair.Tag1, Tag2: t.Pair.Tag2, Score: t.Score,
+		}
+	}
+	return out
+}
+
+// PublishRanking converts an engine ranking to wire form — including each
+// registered profile's personalized list and the rank moves since the last
+// tick — and broadcasts it. Wire it to core.Config.OnRanking.
+func (s *Server) PublishRanking(r core.Ranking) {
+	s.mu.Lock()
+	h := s.history
+	s.mu.Unlock()
+	if h != nil {
+		// Out-of-order ticks cannot happen from a single engine; an error
+		// here means mis-wired publishers, surfaced by dropping the tick.
+		_ = h.Record(r)
+	}
+	view := RankingView{At: r.At, Seeds: r.Seeds}
+	var ptopics []persona.Topic
+	var cur rank.List
+	for i, t := range r.Topics {
+		view.Topics = append(view.Topics, TopicView{
+			Rank:         i + 1,
+			Tag1:         t.Pair.Tag1,
+			Tag2:         t.Pair.Tag2,
+			Score:        t.Score,
+			Correlation:  t.Correlation,
+			Cooccurrence: t.Cooccurrence,
+		})
+		ptopics = append(ptopics, persona.Topic{Pair: t.Pair, Score: t.Score})
+		cur = append(cur, rank.Entry{ID: t.Pair.String(), Score: t.Score})
+	}
+	views := s.registry.RerankAll(ptopics)
+	if len(views) > 0 {
+		view.Profiles = make(map[string][]TopicView, len(views))
+		for name, ts := range views {
+			view.Profiles[name] = toViews(ts)
+		}
+	}
+
+	s.mu.Lock()
+	view.Moves = rank.Diff(s.prevIDs, cur)
+	for _, a := range s.watcher.Observe(r.At, ptopics) {
+		view.Alerts = append(view.Alerts, AlertView{
+			User: a.User, Tag1: a.Pair.Tag1, Tag2: a.Pair.Tag2,
+			Rank: a.Rank, Score: a.Score,
+		})
+	}
+	s.prevIDs = cur
+	s.lastView = view
+	s.mu.Unlock()
+
+	// Broadcast errors mean a marshaling bug, not a client problem; the
+	// view type is fully serialisable, so this cannot fail in practice.
+	_ = s.hub.Broadcast(view)
+}
+
+// profileRequest is the POST /profile payload.
+type profileRequest struct {
+	Name       string   `json:"name"`
+	Keywords   []string `json:"keywords"`
+	Categories []string `json:"categories"`
+	Boost      float64  `json:"boost"`
+	Exclusive  bool     `json:"exclusive"`
+}
+
+// Handler returns the HTTP handler serving all endpoints.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/events", s.handleEvents)
+	mux.HandleFunc("/ranking", s.handleRanking)
+	mux.HandleFunc("/profile", s.handleProfile)
+	mux.HandleFunc("/profiles", s.handleProfiles)
+	mux.HandleFunc("/history", s.handleHistory)
+	mux.HandleFunc("/trajectory", s.handleTrajectory)
+	return mux
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, indexHTML)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush() // deliver headers now so clients see the stream open
+	ch := s.hub.subscribe()
+	defer s.hub.unsubscribe(ch)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame := <-ch:
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	view := s.lastView
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(view); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	var req profileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad profile JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Name == "" {
+		http.Error(w, "profile name required", http.StatusBadRequest)
+		return
+	}
+	s.registry.Set(&persona.Profile{
+		Name:       req.Name,
+		Keywords:   req.Keywords,
+		Categories: req.Categories,
+		Boost:      req.Boost,
+		Exclusive:  req.Exclusive,
+	})
+	// Forget the user's alert state so the new preferences re-alert.
+	s.mu.Lock()
+	s.watcher.Reset(req.Name)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	sort.Strings(names)
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(names); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// indexHTML is the minimal live demo page: an EventSource client rendering
+// the pushed rankings, mirroring the paper's AJAX front-end.
+const indexHTML = `<!DOCTYPE html>
+<html>
+<head><meta charset="utf-8"><title>enBlogue — emergent topics</title>
+<style>
+body{font-family:sans-serif;margin:2em;background:#fafafa}
+h1{font-size:1.4em} table{border-collapse:collapse;min-width:30em}
+td,th{border:1px solid #ccc;padding:.3em .6em;text-align:left}
+tr:nth-child(even){background:#f0f0f0} .score{text-align:right}
+#at{color:#666}
+</style></head>
+<body>
+<h1>enBlogue &mdash; emergent topics</h1>
+<p id="at">waiting for first ranking&hellip;</p>
+<table><thead><tr><th>#</th><th>topic</th><th class="score">score</th></tr></thead>
+<tbody id="topics"></tbody></table>
+<script>
+const es = new EventSource('/events');
+es.onmessage = e => {
+  const v = JSON.parse(e.data);
+  document.getElementById('at').textContent = 'as of ' + v.at;
+  const tb = document.getElementById('topics');
+  tb.innerHTML = '';
+  (v.topics || []).forEach(t => {
+    const tr = document.createElement('tr');
+    tr.innerHTML = '<td>' + t.rank + '</td><td>' + t.tag1 + ' + ' + t.tag2 +
+      '</td><td class="score">' + t.score.toFixed(4) + '</td>';
+    tb.appendChild(tr);
+  });
+};
+</script>
+</body></html>
+`

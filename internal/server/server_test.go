@@ -1,0 +1,249 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/pairs"
+	"enblogue/internal/shift"
+)
+
+var t0 = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+
+func sampleRanking() core.Ranking {
+	return core.Ranking{
+		At:    t0,
+		Seeds: []string{"politics"},
+		Topics: []shift.Topic{
+			{Pair: pairs.MakeKey("politics", "scandal"), Score: 0.9, Correlation: 0.4, Cooccurrence: 12},
+			{Pair: pairs.MakeKey("iceland", "volcano"), Score: 0.5, Correlation: 0.3, Cooccurrence: 8},
+		},
+	}
+}
+
+func TestHubBroadcastAndLateJoin(t *testing.T) {
+	h := NewHub()
+	if err := h.Broadcast(map[string]int{"x": 1}); err != nil {
+		t.Fatal(err)
+	}
+	if h.Last() == nil {
+		t.Fatal("Last nil after broadcast")
+	}
+	ch := h.subscribe()
+	defer h.unsubscribe(ch)
+	select {
+	case frame := <-ch:
+		if !bytes.Contains(frame, []byte(`"x":1`)) {
+			t.Errorf("late-join frame = %s", frame)
+		}
+	default:
+		t.Fatal("late joiner did not receive retained frame")
+	}
+	if h.ClientCount() != 1 {
+		t.Errorf("ClientCount = %d", h.ClientCount())
+	}
+}
+
+func TestHubSlowClientDropsFrames(t *testing.T) {
+	h := NewHub()
+	ch := h.subscribe()
+	defer h.unsubscribe(ch)
+	// Flood past the buffer; must not block.
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 100; i++ {
+			h.Broadcast(i)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("broadcast blocked on slow client")
+	}
+}
+
+func TestHubBroadcastUnmarshalable(t *testing.T) {
+	h := NewHub()
+	if err := h.Broadcast(func() {}); err == nil {
+		t.Error("expected marshal error")
+	}
+}
+
+func TestRankingEndpoint(t *testing.T) {
+	s := New()
+	s.PublishRanking(sampleRanking())
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/ranking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view RankingView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Topics) != 2 || view.Topics[0].Tag2 != "scandal" || view.Topics[0].Rank != 1 {
+		t.Errorf("view = %+v", view)
+	}
+	// First publish: both topics are new entries in the move list.
+	if len(view.Moves) != 2 {
+		t.Errorf("moves = %+v", view.Moves)
+	}
+}
+
+func TestProfileEndpointsAndPersonalizedViews(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	body := `{"name":"alice","keywords":["volcano"],"boost":10,"exclusive":true}`
+	resp, err := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("profile POST status = %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/profiles")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	json.NewDecoder(resp.Body).Decode(&names)
+	resp.Body.Close()
+	if len(names) != 1 || names[0] != "alice" {
+		t.Errorf("profiles = %v", names)
+	}
+
+	s.PublishRanking(sampleRanking())
+	resp, err = http.Get(ts.URL + "/ranking")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view RankingView
+	json.NewDecoder(resp.Body).Decode(&view)
+	resp.Body.Close()
+	alice := view.Profiles["alice"]
+	if len(alice) != 1 || alice[0].Tag2 != "volcano" {
+		t.Errorf("alice view = %+v", alice)
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Missing name.
+	resp, _ := http.Post(ts.URL+"/profile", "application/json", strings.NewReader(`{}`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("nameless profile status = %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	resp, _ = http.Post(ts.URL+"/profile", "application/json", strings.NewReader(`{`))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %d", resp.StatusCode)
+	}
+	// Wrong method.
+	resp, _ = http.Get(ts.URL + "/profile")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /profile status = %d", resp.StatusCode)
+	}
+}
+
+func TestSSEStreamDeliversFrames(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	// Wait for the subscriber registration, then publish.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.Hub().ClientCount() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	s.PublishRanking(sampleRanking())
+
+	rd := bufio.NewReader(resp.Body)
+	line, err := rd.ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(line, "data: ") {
+		t.Fatalf("frame = %q", line)
+	}
+	var view RankingView
+	if err := json.Unmarshal([]byte(strings.TrimPrefix(strings.TrimSpace(line), "data: ")), &view); err != nil {
+		t.Fatal(err)
+	}
+	if len(view.Topics) != 2 {
+		t.Errorf("streamed view = %+v", view)
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	s := New()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := new(bytes.Buffer)
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "EventSource") {
+		t.Error("index page missing EventSource client")
+	}
+	// Unknown path 404s.
+	resp2, _ := http.Get(ts.URL + "/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestMovesAcrossTicks(t *testing.T) {
+	s := New()
+	s.PublishRanking(sampleRanking())
+	// Second tick: order flips.
+	r2 := sampleRanking()
+	r2.Topics[0], r2.Topics[1] = r2.Topics[1], r2.Topics[0]
+	r2.Topics[0].Score = 2.0
+	s.PublishRanking(r2)
+	s.mu.Lock()
+	moves := s.lastView.Moves
+	s.mu.Unlock()
+	if len(moves) != 2 {
+		t.Fatalf("moves = %+v", moves)
+	}
+	if moves[0].ID != "iceland+volcano" || moves[0].To != 0 || moves[0].From != 1 {
+		t.Errorf("move = %+v", moves[0])
+	}
+}

@@ -1,0 +1,79 @@
+package sketch
+
+import (
+	"sync"
+
+	"enblogue/internal/stream"
+)
+
+// Operator is the paper's plug-in "sketching operator that maps stream
+// items into synopses": a pass-through stream stage that folds every item's
+// tags into a Count-Min sketch, a Space-Saving top-k summary, and a Bloom
+// filter of document IDs. Several query plans can share one instance (it is
+// internally locked) and read approximate statistics without touching the
+// engines' exact windowed counters.
+type Operator struct {
+	stream.FanOut
+
+	mu    sync.Mutex
+	cm    *CountMin
+	topk  *TopK
+	docs  *Bloom
+	items int64
+}
+
+// NewOperator returns a sketching operator with a Count-Min sketch of the
+// given error profile, a top-k summary of size k, and a Bloom filter sized
+// for expectedDocs.
+func NewOperator(epsilon, delta float64, k, expectedDocs int) *Operator {
+	return &Operator{
+		cm:   NewCountMinWithError(epsilon, delta),
+		topk: NewTopK(k),
+		docs: NewBloom(expectedDocs, 0.01),
+	}
+}
+
+// Consume implements stream.Sink: it sketches the item and forwards it
+// unchanged.
+func (o *Operator) Consume(it *stream.Item) {
+	o.mu.Lock()
+	o.items++
+	o.docs.Add(it.DocID)
+	for _, tag := range it.Tags {
+		if tag == "" {
+			continue
+		}
+		o.cm.Add(tag, 1)
+		o.topk.Add(tag)
+	}
+	o.mu.Unlock()
+	o.Emit(it)
+}
+
+// TagCount returns the approximate (never under-) count of tag occurrences.
+func (o *Operator) TagCount(tag string) uint64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.cm.Count(tag)
+}
+
+// TopTags returns the approximate heavy hitters, best first.
+func (o *Operator) TopTags() []Entry {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.topk.Entries()
+}
+
+// SeenDoc reports whether a document ID has (probably) passed through.
+func (o *Operator) SeenDoc(id string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.docs.Contains(id)
+}
+
+// Items returns the number of items sketched.
+func (o *Operator) Items() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.items
+}

@@ -1,0 +1,81 @@
+package sketch
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"enblogue/internal/stream"
+)
+
+func TestOperatorSketchesAndForwards(t *testing.T) {
+	op := NewOperator(0.01, 0.01, 10, 1000)
+	var forwarded int
+	op.Subscribe(stream.SinkFunc(func(*stream.Item) { forwarded++ }))
+
+	base := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 100; i++ {
+		tags := []string{"common", ""}
+		if i%10 == 0 {
+			tags = append(tags, "rare")
+		}
+		op.Consume(&stream.Item{
+			Time: base, DocID: fmt.Sprintf("d%d", i), Tags: tags,
+		})
+	}
+	if forwarded != 100 {
+		t.Errorf("forwarded = %d, want 100 (pass-through)", forwarded)
+	}
+	if op.Items() != 100 {
+		t.Errorf("Items = %d", op.Items())
+	}
+	if got := op.TagCount("common"); got < 100 {
+		t.Errorf("TagCount(common) = %d, want >= 100", got)
+	}
+	if got := op.TagCount("rare"); got < 10 || got > 20 {
+		t.Errorf("TagCount(rare) = %d, want ≈10", got)
+	}
+	if got := op.TagCount(""); got != 0 {
+		t.Errorf("empty tag sketched: %d", got)
+	}
+	top := op.TopTags()
+	if len(top) == 0 || top[0].Key != "common" {
+		t.Errorf("TopTags = %+v", top)
+	}
+	if !op.SeenDoc("d42") {
+		t.Error("SeenDoc(d42) = false")
+	}
+	if op.SeenDoc("never-seen-doc-xyz") {
+		t.Log("bloom false positive (possible, not an error)")
+	}
+}
+
+func TestOperatorSharedAcrossPlans(t *testing.T) {
+	op := NewOperator(0.01, 0.01, 5, 100)
+	items := make(stream.SliceSource, 50)
+	base := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	for i := range items {
+		items[i] = &stream.Item{Time: base, DocID: fmt.Sprintf("d%d", i), Tags: []string{"t"}}
+	}
+	var n1, n2 int
+	r := stream.NewRunner(items)
+	shared := stream.Shared("sketch", func() stream.Operator { return op })
+	r.Add(&stream.Plan{Name: "p1", Stages: []stream.Stage{shared},
+		Sink: stream.SinkFunc(func(*stream.Item) { n1++ })})
+	r.Add(&stream.Plan{Name: "p2", Stages: []stream.Stage{shared},
+		Sink: stream.SinkFunc(func(*stream.Item) { n2++ })})
+	if err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n1 != 50 || n2 != 50 {
+		t.Errorf("plan deliveries = %d/%d", n1, n2)
+	}
+	// The shared instance sketched each item once, not once per plan.
+	if op.Items() != 50 {
+		t.Errorf("Items = %d, want 50 (single shared pass)", op.Items())
+	}
+	if got := op.TagCount("t"); got != 50 {
+		t.Errorf("TagCount(t) = %d, want 50", got)
+	}
+}

@@ -1,0 +1,173 @@
+package source
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// DefaultCategories mirrors the NYT editorial sections used as tags in show
+// case 1 ("US election issues, hurricanes, or sport events").
+var DefaultCategories = []string{
+	"politics", "world", "business", "sports", "science",
+	"arts", "health", "technology", "weather", "education",
+}
+
+// ArchiveConfig parameterises the synthetic news archive generator — the
+// substitute for the New York Times 1987–2007 archive. Documents carry a
+// category tag plus Zipf-distributed descriptor tags, like the NYT's
+// back-office categories and descriptors.
+type ArchiveConfig struct {
+	// Seed makes generation deterministic.
+	Seed int64
+	// Start and Days bound the archive period.
+	Start time.Time
+	Days  int
+	// DocsPerDay is the mean background document rate. Zero means 200.
+	DocsPerDay int
+	// Categories defaults to DefaultCategories.
+	Categories []string
+	// DescriptorsPerCategory sizes each category's descriptor vocabulary.
+	// Zero means 100.
+	DescriptorsPerCategory int
+	// DescriptorsPerDoc is the mean number of descriptor tags per document.
+	// Zero means 3.
+	DescriptorsPerDoc int
+	// ZipfS is the Zipf skew of descriptor usage (>1). Zero means 1.3.
+	ZipfS float64
+	// Events are the injected ground-truth emergent topics.
+	Events []Event
+}
+
+func (c ArchiveConfig) withDefaults() ArchiveConfig {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.DocsPerDay <= 0 {
+		c.DocsPerDay = 200
+	}
+	if len(c.Categories) == 0 {
+		c.Categories = DefaultCategories
+	}
+	if c.DescriptorsPerCategory <= 0 {
+		c.DescriptorsPerCategory = 100
+	}
+	if c.DescriptorsPerDoc <= 0 {
+		c.DescriptorsPerDoc = 3
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	return c
+}
+
+// Descriptor returns the deterministic descriptor tag name for a category
+// and rank. Rank 0 is the most popular descriptor of the category.
+func Descriptor(category string, rank int) string {
+	return fmt.Sprintf("%s-d%03d", category, rank)
+}
+
+// GenerateArchive produces a time-sorted synthetic archive. Background
+// documents draw a category (uniform) and descriptors (Zipf within the
+// category, so each category has stable popular descriptors that co-occur
+// at a steady background rate). Event documents are added on top while
+// their event is active, tagged with the event pair and category.
+func GenerateArchive(cfg ArchiveConfig) []Document {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.DescriptorsPerCategory-1))
+
+	total := c.DocsPerDay * c.Days
+	docs := make([]Document, 0, total+len(c.Events)*64)
+	span := time.Duration(c.Days) * 24 * time.Hour
+
+	for i := 0; i < total; i++ {
+		at := c.Start.Add(time.Duration(rng.Int63n(int64(span))))
+		cat := c.Categories[rng.Intn(len(c.Categories))]
+		nd := 1 + rng.Intn(2*c.DescriptorsPerDoc-1) // mean ≈ DescriptorsPerDoc
+		tags := make([]string, 0, nd+1)
+		tags = append(tags, cat)
+		for j := 0; j < nd; j++ {
+			tags = append(tags, Descriptor(cat, int(zipf.Uint64())))
+		}
+		docs = append(docs, Document{
+			Time:   at,
+			ID:     fmt.Sprintf("arch-%06d", i),
+			Tags:   tags,
+			Source: "archive",
+		})
+	}
+
+	for ei := range c.Events {
+		docs = append(docs, eventDocs(rng, &c.Events[ei], fmt.Sprintf("evt%d", ei))...)
+	}
+
+	SortDocs(docs)
+	return docs
+}
+
+// eventDocs materialises one event's extra documents at Poisson-ish arrival
+// times over the active span.
+func eventDocs(rng *rand.Rand, e *Event, idPrefix string) []Document {
+	hours := e.Duration.Hours()
+	n := int(e.DocsPerHour * hours)
+	if n <= 0 && e.DocsPerHour > 0 {
+		n = 1
+	}
+	docs := make([]Document, 0, n)
+	for i := 0; i < n; i++ {
+		at := e.Start.Add(time.Duration(rng.Int63n(int64(e.Duration))))
+		tags := []string{e.Tags[0], e.Tags[1]}
+		if e.Category != "" {
+			tags = append(tags, e.Category)
+		}
+		docs = append(docs, Document{
+			Time:   at,
+			ID:     fmt.Sprintf("%s-%05d", idPrefix, i),
+			Tags:   tags,
+			Text:   e.Text,
+			Source: "archive",
+		})
+	}
+	return docs
+}
+
+// HistoricEvents returns the scripted show-case-1 event set over the given
+// archive start: a hurricane, an election controversy, and a sports upset —
+// the categories the paper demos ("US election issues, hurricanes, or sport
+// events"). Each event pairs a category descriptor with a fresh or
+// cross-category tag, producing the correlation shifts enBlogue must find.
+func HistoricEvents(start time.Time) []Event {
+	return []Event{
+		{
+			Name:        "hurricane-landfall",
+			Tags:        [2]string{"hurricane", "new-orleans"},
+			Category:    "weather",
+			Start:       start.Add(5 * 24 * time.Hour),
+			Duration:    3 * 24 * time.Hour,
+			DocsPerHour: 6,
+			Text:        "Hurricane Katrina makes landfall near New Orleans",
+		},
+		{
+			Name:        "election-recount",
+			Tags:        [2]string{"election", "recount"},
+			Category:    "politics",
+			Start:       start.Add(12 * 24 * time.Hour),
+			Duration:    4 * 24 * time.Hour,
+			DocsPerHour: 5,
+			Text:        "Election results contested as recount begins",
+		},
+		{
+			Name:        "cup-upset",
+			Tags:        [2]string{"world-cup", "underdog"},
+			Category:    "sports",
+			Start:       start.Add(20 * 24 * time.Hour),
+			Duration:    2 * 24 * time.Hour,
+			DocsPerHour: 8,
+			Text:        "Underdog eliminates favourite in World Cup shock",
+		},
+	}
+}

@@ -1,0 +1,277 @@
+package source
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Happening scripts one development in a simulated live stream: for its
+// span, documents mentioning its tag pair arrive at the given rate. It is
+// the live-stream twin of Event with tweet-flavoured text.
+type Happening struct {
+	Name string
+	// Tags is the co-occurring tag pair (e.g. hashtags "sigmod"+"athens").
+	Tags [2]string
+	// Offset is the start relative to the stream start; Duration its span.
+	Offset   time.Duration
+	Duration time.Duration
+	// DocsPerMinute is the arrival rate while active.
+	DocsPerMinute float64
+	// Text is an optional message template; both tags are appended as
+	// hashtags regardless.
+	Text string
+}
+
+// Event converts the happening to a ground-truth Event anchored at start.
+func (h *Happening) Event(start time.Time) Event {
+	return Event{
+		Name:        h.Name,
+		Tags:        h.Tags,
+		Start:       start.Add(h.Offset),
+		Duration:    h.Duration,
+		DocsPerHour: h.DocsPerMinute * 60,
+	}
+}
+
+// TweetConfig parameterises the simulated Twitter wrapper of show case 2.
+type TweetConfig struct {
+	Seed int64
+	// Start and Span bound the stream.
+	Start time.Time
+	Span  time.Duration
+	// TweetsPerMinute is the background rate. Zero means 60.
+	TweetsPerMinute float64
+	// Hashtags sizes the background hashtag vocabulary. Zero means 500.
+	Hashtags int
+	// TagsPerTweet is the mean hashtag count per tweet. Zero means 2.
+	TagsPerTweet int
+	// ZipfS skews hashtag popularity. Zero means 1.4.
+	ZipfS float64
+	// Happenings are the scripted developments (ground truth).
+	Happenings []Happening
+}
+
+func (c TweetConfig) withDefaults() TweetConfig {
+	if c.Start.IsZero() {
+		c.Start = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Span <= 0 {
+		c.Span = 48 * time.Hour
+	}
+	if c.TweetsPerMinute <= 0 {
+		c.TweetsPerMinute = 60
+	}
+	if c.Hashtags <= 0 {
+		c.Hashtags = 500
+	}
+	if c.TagsPerTweet <= 0 {
+		c.TagsPerTweet = 2
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.4
+	}
+	return c
+}
+
+// tweetPhrases feed the background tweet texts; several mention sample
+// gazetteer entities so the entity tagger has realistic work.
+var tweetPhrases = []string{
+	"can't believe what just happened",
+	"watching the news right now",
+	"Barack Obama giving a speech today",
+	"flights grounded over Iceland again",
+	"great match by Roger Federer",
+	"traffic in New York City is terrible",
+	"reading about the BP oil spill",
+	"weather in Athens is lovely",
+	"so excited for the World Cup",
+	"another day another deadline",
+	"lunch break thoughts",
+	"this conference wifi is struggling",
+}
+
+// GenerateTweets produces a time-sorted simulated tweet stream with
+// background chatter plus the scripted happenings. Ground truth is
+// recoverable via Events.
+func GenerateTweets(cfg TweetConfig) []Document {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Hashtags-1))
+
+	total := int(c.TweetsPerMinute * c.Span.Minutes())
+	docs := make([]Document, 0, total+len(c.Happenings)*64)
+
+	for i := 0; i < total; i++ {
+		at := c.Start.Add(time.Duration(rng.Int63n(int64(c.Span))))
+		nt := 1 + rng.Intn(2*c.TagsPerTweet-1)
+		tags := make([]string, 0, nt)
+		for j := 0; j < nt; j++ {
+			tags = append(tags, fmt.Sprintf("ht%03d", zipf.Uint64()))
+		}
+		docs = append(docs, Document{
+			Time:   at,
+			ID:     fmt.Sprintf("tw-%07d", i),
+			Tags:   tags,
+			Text:   tweetPhrases[rng.Intn(len(tweetPhrases))],
+			Source: "twitter",
+		})
+	}
+
+	for hi := range c.Happenings {
+		h := &c.Happenings[hi]
+		n := int(h.DocsPerMinute * h.Duration.Minutes())
+		for i := 0; i < n; i++ {
+			at := c.Start.Add(h.Offset + time.Duration(rng.Int63n(int64(h.Duration))))
+			txt := h.Text
+			if txt == "" {
+				txt = "everyone is talking about this"
+			}
+			docs = append(docs, Document{
+				Time:   at,
+				ID:     fmt.Sprintf("tw-%s-%05d", h.Name, i),
+				Tags:   []string{h.Tags[0], h.Tags[1]},
+				Text:   fmt.Sprintf("%s #%s #%s", txt, h.Tags[0], h.Tags[1]),
+				Source: "twitter",
+			})
+		}
+	}
+
+	SortDocs(docs)
+	return docs
+}
+
+// Events converts the config's happenings into ground-truth events.
+func (c TweetConfig) Events() []Event {
+	cc := c.withDefaults()
+	out := make([]Event, len(cc.Happenings))
+	for i := range cc.Happenings {
+		out[i] = cc.Happenings[i].Event(cc.Start)
+	}
+	return out
+}
+
+// SIGMODAthensScenario returns the paper's live-demo stunt: "With the
+// proper system configuration and the help of the present twitter users we
+// may be able to see a topic regarding SIGMOD and Athens in a highly ranked
+// position." The pair starts silent and surges mid-stream.
+func SIGMODAthensScenario(span time.Duration) []Happening {
+	return []Happening{
+		{
+			Name:          "sigmod-athens",
+			Tags:          [2]string{"sigmod", "athens"},
+			Offset:        span / 2,
+			Duration:      span / 8,
+			DocsPerMinute: 4,
+			Text:          "greetings from the SIGMOD conference in Athens",
+		},
+		{
+			Name:          "volcano-airtraffic",
+			Tags:          [2]string{"volcano", "air-traffic"},
+			Offset:        span / 4,
+			Duration:      span / 6,
+			DocsPerMinute: 3,
+			Text:          "Eyjafjallajokull ash cloud disrupting air traffic over Iceland",
+		},
+	}
+}
+
+// FeedConfig parameterises the RSS/blog wrapper: lower-rate, titled items
+// over the same scenario machinery.
+type FeedConfig struct {
+	Seed int64
+	// FeedNames identify the simulated feeds; defaults to three outlets.
+	FeedNames []string
+	Start     time.Time
+	Span      time.Duration
+	// ItemsPerHourPerFeed is the background rate. Zero means 6.
+	ItemsPerHourPerFeed float64
+	// Topics sizes the background topic-tag vocabulary. Zero means 120.
+	Topics int
+	// ZipfS skews topic popularity. Zero means 1.3.
+	ZipfS float64
+	// Happenings are scripted developments shared with the tweet stream.
+	Happenings []Happening
+}
+
+func (c FeedConfig) withDefaults() FeedConfig {
+	if len(c.FeedNames) == 0 {
+		c.FeedNames = []string{"daily-herald", "tech-ledger", "sports-wire"}
+	}
+	if c.Start.IsZero() {
+		c.Start = time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
+	}
+	if c.Span <= 0 {
+		c.Span = 48 * time.Hour
+	}
+	if c.ItemsPerHourPerFeed <= 0 {
+		c.ItemsPerHourPerFeed = 6
+	}
+	if c.Topics <= 0 {
+		c.Topics = 120
+	}
+	if c.ZipfS <= 1 {
+		c.ZipfS = 1.3
+	}
+	return c
+}
+
+// GenerateFeed produces a time-sorted simulated RSS stream.
+func GenerateFeed(cfg FeedConfig) []Document {
+	c := cfg.withDefaults()
+	rng := rand.New(rand.NewSource(c.Seed))
+	zipf := rand.NewZipf(rng, c.ZipfS, 1, uint64(c.Topics-1))
+
+	perFeed := int(c.ItemsPerHourPerFeed * c.Span.Hours())
+	docs := make([]Document, 0, perFeed*len(c.FeedNames))
+	for fi, feed := range c.FeedNames {
+		for i := 0; i < perFeed; i++ {
+			at := c.Start.Add(time.Duration(rng.Int63n(int64(c.Span))))
+			topic := fmt.Sprintf("topic%03d", zipf.Uint64())
+			second := fmt.Sprintf("topic%03d", zipf.Uint64())
+			tags := []string{topic}
+			if second != topic {
+				tags = append(tags, second)
+			}
+			docs = append(docs, Document{
+				Time:   at,
+				ID:     fmt.Sprintf("rss-%d-%06d", fi, i),
+				Tags:   tags,
+				Text:   fmt.Sprintf("%s reports on %s", feed, strings.Join(tags, " and ")),
+				Source: "rss:" + feed,
+			})
+		}
+	}
+	for hi := range c.Happenings {
+		h := &c.Happenings[hi]
+		n := int(h.DocsPerMinute * h.Duration.Minutes() / 10) // feeds are ~10x slower than tweets
+		for i := 0; i < n; i++ {
+			at := c.Start.Add(h.Offset + time.Duration(rng.Int63n(int64(h.Duration))))
+			docs = append(docs, Document{
+				Time:   at,
+				ID:     fmt.Sprintf("rss-%s-%05d", h.Name, i),
+				Tags:   []string{h.Tags[0], h.Tags[1]},
+				Text:   h.Text,
+				Source: "rss:" + c.FeedNames[i%len(c.FeedNames)],
+			})
+		}
+	}
+	SortDocs(docs)
+	return docs
+}
+
+// Merge combines several sorted document streams into one sorted stream —
+// the multi-wrapper setup of the live demo (Twitter plus several feeds).
+func Merge(streams ...[]Document) []Document {
+	var total int
+	for _, s := range streams {
+		total += len(s)
+	}
+	out := make([]Document, 0, total)
+	for _, s := range streams {
+		out = append(out, s...)
+	}
+	SortDocs(out)
+	return out
+}

@@ -1,0 +1,300 @@
+// Package tagstats maintains per-tag sliding-window statistics over the
+// document stream and implements the paper's first stage, seed tag
+// selection: "Seed tags can be determined based on different criteria, such
+// as popularity and volatility. We choose seed tags to be popular tags.
+// Popularity is easy to measure as it merely requires computing a
+// sliding-window average on the document stream."
+package tagstats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"enblogue/internal/window"
+)
+
+// Criterion selects how seed tags are chosen.
+type Criterion int
+
+const (
+	// ByPopularity picks the tags with the most documents in the window —
+	// the paper's default choice.
+	ByPopularity Criterion = iota
+	// ByVolatility picks the tags whose windowed count series fluctuates
+	// the most (coefficient of variation).
+	ByVolatility
+	// ByHybrid ranks by popularity × (1 + volatility), favouring tags that
+	// are both hot and moving.
+	ByHybrid
+)
+
+// String returns the criterion name.
+func (c Criterion) String() string {
+	switch c {
+	case ByPopularity:
+		return "popularity"
+	case ByVolatility:
+		return "volatility"
+	case ByHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("criterion(%d)", int(c))
+	}
+}
+
+// Config parameterises a Tracker.
+type Config struct {
+	// Buckets and Resolution define the sliding window (span = product).
+	Buckets    int
+	Resolution time.Duration
+	// SweepEvery controls how often (in observed documents) idle tags are
+	// evicted. Zero means every 4096 documents.
+	SweepEvery int
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Buckets == 0 {
+		out.Buckets = 48
+	}
+	if out.Resolution == 0 {
+		out.Resolution = time.Hour
+	}
+	if out.SweepEvery == 0 {
+		out.SweepEvery = 4096
+	}
+	return out
+}
+
+// TagStat is a snapshot of one tag's windowed statistics.
+type TagStat struct {
+	Tag        string
+	Count      float64 // documents carrying the tag inside the window
+	Popularity float64 // fraction of windowed documents carrying the tag
+	Volatility float64 // coefficient of variation of the bucket series
+}
+
+// Tracker maintains windowed document counts per tag. It is not safe for
+// concurrent use; wrap it in a stream.AsyncStage or external lock if
+// multiple goroutines feed it.
+type Tracker struct {
+	cfg     Config
+	tags    map[string]*window.Counter
+	docs    *window.Counter
+	sinceGC int
+	now     time.Time
+}
+
+// NewTracker returns a tracker with the given configuration.
+func NewTracker(cfg Config) *Tracker {
+	c := cfg.withDefaults()
+	return &Tracker{
+		cfg:  c,
+		tags: make(map[string]*window.Counter),
+		docs: window.NewCounter(c.Buckets, c.Resolution),
+	}
+}
+
+// Span returns the sliding-window span.
+func (tr *Tracker) Span() time.Duration {
+	return time.Duration(tr.cfg.Buckets) * tr.cfg.Resolution
+}
+
+// Observe records one document with the given tag set at time t. Duplicate
+// tags within one document are counted once.
+func (tr *Tracker) Observe(t time.Time, tags []string) {
+	if t.After(tr.now) {
+		tr.now = t
+	}
+	tr.docs.Inc(t)
+	seen := make(map[string]bool, len(tags))
+	for _, tag := range tags {
+		if tag == "" || seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		c, ok := tr.tags[tag]
+		if !ok {
+			c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
+			tr.tags[tag] = c
+		}
+		c.Inc(t)
+	}
+	tr.sinceGC++
+	if tr.sinceGC >= tr.cfg.SweepEvery {
+		tr.sweep()
+	}
+}
+
+// sweep evicts tags whose windows have emptied, bounding memory to the tags
+// active inside the window.
+func (tr *Tracker) sweep() {
+	tr.sinceGC = 0
+	for tag, c := range tr.tags {
+		c.Observe(tr.now)
+		if c.Value() == 0 {
+			delete(tr.tags, tag)
+		}
+	}
+}
+
+// Count returns the number of windowed documents carrying tag.
+func (tr *Tracker) Count(tag string) float64 {
+	c, ok := tr.tags[tag]
+	if !ok {
+		return 0
+	}
+	c.Observe(tr.now)
+	return c.Value()
+}
+
+// DocCount returns the number of documents inside the window.
+func (tr *Tracker) DocCount() float64 {
+	tr.docs.Observe(tr.now)
+	return tr.docs.Value()
+}
+
+// Popularity returns the sliding-window popularity of tag: the fraction of
+// windowed documents that carry it.
+func (tr *Tracker) Popularity(tag string) float64 {
+	total := tr.DocCount()
+	if total == 0 {
+		return 0
+	}
+	return tr.Count(tag) / total
+}
+
+// Volatility returns the coefficient of variation (stddev / mean) of the
+// tag's per-bucket count series; 0 for unseen or constant tags.
+func (tr *Tracker) Volatility(tag string) float64 {
+	c, ok := tr.tags[tag]
+	if !ok {
+		return 0
+	}
+	c.Observe(tr.now)
+	return coefficientOfVariation(c.Series())
+}
+
+func coefficientOfVariation(series []float64) float64 {
+	if len(series) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range series {
+		sum += v
+	}
+	mean := sum / float64(len(series))
+	if mean == 0 {
+		return 0
+	}
+	var ss float64
+	for _, v := range series {
+		d := v - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss/float64(len(series))) / mean
+}
+
+// ActiveTags returns the number of tags currently tracked.
+func (tr *Tracker) ActiveTags() int { return len(tr.tags) }
+
+// Stats returns the snapshot for a single tag.
+func (tr *Tracker) Stats(tag string) TagStat {
+	return TagStat{
+		Tag:        tag,
+		Count:      tr.Count(tag),
+		Popularity: tr.Popularity(tag),
+		Volatility: tr.Volatility(tag),
+	}
+}
+
+// Top returns the k highest-scoring tags under the criterion, ties broken
+// alphabetically for determinism. Tags with fewer than minCount windowed
+// documents are excluded.
+func (tr *Tracker) Top(k int, crit Criterion, minCount float64) []TagStat {
+	if k <= 0 {
+		return nil
+	}
+	total := tr.DocCount()
+	stats := make([]TagStat, 0, len(tr.tags))
+	for tag, c := range tr.tags {
+		c.Observe(tr.now)
+		n := c.Value()
+		if n < minCount || n == 0 {
+			continue
+		}
+		s := TagStat{Tag: tag, Count: n}
+		if total > 0 {
+			s.Popularity = n / total
+		}
+		if crit == ByVolatility || crit == ByHybrid {
+			s.Volatility = coefficientOfVariation(c.Series())
+		}
+		stats = append(stats, s)
+	}
+	score := func(s TagStat) float64 {
+		switch crit {
+		case ByVolatility:
+			return s.Volatility
+		case ByHybrid:
+			return s.Popularity * (1 + s.Volatility)
+		default:
+			return s.Popularity
+		}
+	}
+	sort.Slice(stats, func(i, j int) bool {
+		si, sj := score(stats[i]), score(stats[j])
+		if si != sj {
+			return si > sj
+		}
+		return stats[i].Tag < stats[j].Tag
+	})
+	if len(stats) > k {
+		stats = stats[:k]
+	}
+	return stats
+}
+
+// SeedSelector periodically materialises the current seed tag set from a
+// Tracker. Reselecting on every document would be wasted work; the paper's
+// engine reselects at evaluation ticks.
+type SeedSelector struct {
+	K         int
+	Criterion Criterion
+	MinCount  float64
+
+	current map[string]bool
+	ordered []string
+}
+
+// NewSeedSelector returns a selector for the top-k tags under crit with the
+// given minimum windowed count.
+func NewSeedSelector(k int, crit Criterion, minCount float64) *SeedSelector {
+	return &SeedSelector{
+		K:         k,
+		Criterion: crit,
+		MinCount:  minCount,
+		current:   make(map[string]bool),
+	}
+}
+
+// Reselect recomputes the seed set from tr and returns it (ordered by
+// descending score).
+func (s *SeedSelector) Reselect(tr *Tracker) []string {
+	top := tr.Top(s.K, s.Criterion, s.MinCount)
+	s.current = make(map[string]bool, len(top))
+	s.ordered = s.ordered[:0]
+	for _, st := range top {
+		s.current[st.Tag] = true
+		s.ordered = append(s.ordered, st.Tag)
+	}
+	return s.ordered
+}
+
+// IsSeed reports whether tag is in the current seed set.
+func (s *SeedSelector) IsSeed(tag string) bool { return s.current[tag] }
+
+// Seeds returns the current ordered seed set.
+func (s *SeedSelector) Seeds() []string { return s.ordered }

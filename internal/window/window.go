@@ -1,0 +1,328 @@
+// Package window implements the time-based sliding-window primitives that
+// underlie every statistic in enBlogue: bucketed counters, sliding averages,
+// and exponential decay with a configurable half-life.
+//
+// The paper computes tag popularity as "a sliding-window average on the
+// document stream" and dampens past prediction errors "using an exponential
+// decline factor with a half life of approximately 2 days"; Counter,
+// Average, and Decay are the direct implementations of those mechanisms.
+package window
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TimeBuckets is a circular buffer of per-bucket float64 accumulators
+// covering a sliding window of span = n × resolution. Adding a value at time
+// t credits the bucket containing t; buckets older than the span are lazily
+// zeroed as time advances. Reads are exact at bucket granularity.
+//
+// The zero value is not usable; construct with NewTimeBuckets.
+type TimeBuckets struct {
+	res     time.Duration
+	buckets []float64
+	counts  []int64
+	// head is the absolute bucket index (unix time / res) stored at slot
+	// head % len(buckets). headSet records whether head is initialised.
+	head    int64
+	headSet bool
+	total   float64
+	n       int64
+}
+
+// NewTimeBuckets returns a window of n buckets of the given resolution.
+// It panics if n < 1 or resolution <= 0: both indicate a programming error,
+// not a runtime condition.
+func NewTimeBuckets(n int, resolution time.Duration) *TimeBuckets {
+	if n < 1 {
+		panic(fmt.Sprintf("window: bucket count %d < 1", n))
+	}
+	if resolution <= 0 {
+		panic(fmt.Sprintf("window: resolution %v <= 0", resolution))
+	}
+	return &TimeBuckets{
+		res:     resolution,
+		buckets: make([]float64, n),
+		counts:  make([]int64, n),
+	}
+}
+
+// Span returns the total duration covered by the window.
+func (w *TimeBuckets) Span() time.Duration {
+	return time.Duration(len(w.buckets)) * w.res
+}
+
+// Resolution returns the bucket width.
+func (w *TimeBuckets) Resolution() time.Duration { return w.res }
+
+// bucketIndex maps a timestamp to its absolute bucket number.
+func (w *TimeBuckets) bucketIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(w.res)
+}
+
+// advance moves the window head to cover abs, zeroing any buckets that fall
+// out of the window. Out-of-order timestamps that still land inside the
+// window are credited to their (old) bucket; ones older than the window are
+// ignored by Add.
+func (w *TimeBuckets) advance(abs int64) {
+	if !w.headSet {
+		w.head = abs
+		w.headSet = true
+		return
+	}
+	if abs <= w.head {
+		return
+	}
+	steps := abs - w.head
+	if steps >= int64(len(w.buckets)) {
+		for i := range w.buckets {
+			w.buckets[i] = 0
+			w.counts[i] = 0
+		}
+		w.total, w.n = 0, 0
+		w.head = abs
+		return
+	}
+	for b := w.head + 1; b <= abs; b++ {
+		slot := int(mod(b, int64(len(w.buckets))))
+		w.total -= w.buckets[slot]
+		w.n -= w.counts[slot]
+		w.buckets[slot] = 0
+		w.counts[slot] = 0
+	}
+	w.head = abs
+	// Guard against floating-point drift pushing the running total negative.
+	if w.n == 0 {
+		w.total = 0
+	}
+}
+
+// Add credits value v to the bucket containing t. Values older than the
+// current window are dropped; values newer than the head advance the window.
+func (w *TimeBuckets) Add(t time.Time, v float64) {
+	abs := w.bucketIndex(t)
+	w.advance(abs)
+	if abs <= w.head-int64(len(w.buckets)) {
+		return // too old: outside the window
+	}
+	slot := int(mod(abs, int64(len(w.buckets))))
+	w.buckets[slot] += v
+	w.counts[slot]++
+	w.total += v
+	w.n++
+}
+
+// Observe advances the window to time t without adding anything, expiring
+// stale buckets. Useful before reading during quiet periods.
+func (w *TimeBuckets) Observe(t time.Time) {
+	w.advance(w.bucketIndex(t))
+}
+
+// Sum returns the sum of all values currently inside the window.
+func (w *TimeBuckets) Sum() float64 { return w.total }
+
+// Count returns the number of Add calls currently inside the window.
+func (w *TimeBuckets) Count() int64 { return w.n }
+
+// Mean returns the average added value inside the window, or 0 if empty.
+func (w *TimeBuckets) Mean() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.total / float64(w.n)
+}
+
+// Rate returns Sum divided by the window span in seconds: the per-second
+// arrival rate of mass into the window.
+func (w *TimeBuckets) Rate() float64 {
+	return w.total / w.Span().Seconds()
+}
+
+// Series returns the per-bucket sums oldest-first. The slice has one entry
+// per bucket and is freshly allocated.
+func (w *TimeBuckets) Series() []float64 {
+	out := make([]float64, len(w.buckets))
+	if !w.headSet {
+		return out
+	}
+	n := int64(len(w.buckets))
+	for i := int64(0); i < n; i++ {
+		b := w.head - (n - 1) + i
+		out[i] = w.buckets[int(mod(b, n))]
+	}
+	return out
+}
+
+// mod returns a % m normalised to [0, m). Go's % can return negatives for
+// negative operands (pre-1970 timestamps in tests).
+func mod(a, m int64) int64 {
+	r := a % m
+	if r < 0 {
+		r += m
+	}
+	return r
+}
+
+// Counter counts events in a sliding window. It is a thin veneer over
+// TimeBuckets with unit weights, matching the paper's document counts per
+// tag and per tag pair.
+type Counter struct {
+	tb *TimeBuckets
+}
+
+// NewCounter returns a sliding event counter with the given number of
+// buckets and bucket resolution.
+func NewCounter(n int, resolution time.Duration) *Counter {
+	return &Counter{tb: NewTimeBuckets(n, resolution)}
+}
+
+// Inc records one event at time t.
+func (c *Counter) Inc(t time.Time) { c.tb.Add(t, 1) }
+
+// Observe advances the window to t, expiring old events.
+func (c *Counter) Observe(t time.Time) { c.tb.Observe(t) }
+
+// Value returns the number of events inside the window.
+func (c *Counter) Value() float64 { return c.tb.Sum() }
+
+// Rate returns events per second over the window span.
+func (c *Counter) Rate() float64 { return c.tb.Rate() }
+
+// Span returns the window span.
+func (c *Counter) Span() time.Duration { return c.tb.Span() }
+
+// Series returns per-bucket event counts, oldest first.
+func (c *Counter) Series() []float64 { return c.tb.Series() }
+
+// Average maintains a sliding-window average of observed values — the
+// paper's popularity measure ("a sliding-window average on the document
+// stream").
+type Average struct {
+	tb *TimeBuckets
+}
+
+// NewAverage returns a sliding average over n buckets of the given
+// resolution.
+func NewAverage(n int, resolution time.Duration) *Average {
+	return &Average{tb: NewTimeBuckets(n, resolution)}
+}
+
+// Add records value v at time t.
+func (a *Average) Add(t time.Time, v float64) { a.tb.Add(t, v) }
+
+// Observe advances the window to t.
+func (a *Average) Observe(t time.Time) { a.tb.Observe(t) }
+
+// Mean returns the sliding-window mean, or 0 when the window is empty.
+func (a *Average) Mean() float64 { return a.tb.Mean() }
+
+// Sum returns the sliding-window sum.
+func (a *Average) Sum() float64 { return a.tb.Sum() }
+
+// Count returns the number of observations inside the window.
+func (a *Average) Count() int64 { return a.tb.Count() }
+
+// Decay is an exponentially decaying value with a fixed half-life: after one
+// half-life the stored value has halved. It implements the paper's damping
+// of past prediction errors ("an exponential decline factor with a half life
+// of approximately 2 days").
+//
+// The zero value is unusable; construct with NewDecay.
+type Decay struct {
+	halfLife time.Duration
+	value    float64
+	at       time.Time
+	set      bool
+}
+
+// NewDecay returns a decaying value with the given half-life. It panics if
+// halfLife <= 0.
+func NewDecay(halfLife time.Duration) *Decay {
+	if halfLife <= 0 {
+		panic(fmt.Sprintf("window: half-life %v <= 0", halfLife))
+	}
+	return &Decay{halfLife: halfLife}
+}
+
+// HalfLife returns the configured half-life.
+func (d *Decay) HalfLife() time.Duration { return d.halfLife }
+
+// factor returns the decay multiplier for elapsed duration dt.
+func (d *Decay) factor(dt time.Duration) float64 {
+	if dt <= 0 {
+		return 1
+	}
+	return math.Exp2(-dt.Seconds() / d.halfLife.Seconds())
+}
+
+// At returns the decayed value as of time t without modifying state.
+// Times before the last update return the stored value undecayed (the decay
+// never "rewinds").
+func (d *Decay) At(t time.Time) float64 {
+	if !d.set {
+		return 0
+	}
+	return d.value * d.factor(t.Sub(d.at))
+}
+
+// Update decays the stored value to time t and then applies max with v: the
+// stored value becomes max(decayed, v). This is exactly the paper's topic
+// score maintenance — the maximum of the current prediction error and
+// exponentially dampened past errors — computed incrementally in O(1).
+// It returns the new value.
+func (d *Decay) Update(t time.Time, v float64) float64 {
+	cur := d.At(t)
+	if v > cur {
+		cur = v
+	}
+	d.value = cur
+	if !d.set || t.After(d.at) {
+		d.at = t
+	}
+	d.set = true
+	return cur
+}
+
+// Set overwrites the value at time t, discarding history.
+func (d *Decay) Set(t time.Time, v float64) {
+	d.value = v
+	d.at = t
+	d.set = true
+}
+
+// EWMA is an exponentially weighted moving average with smoothing factor
+// alpha in (0, 1]: next = alpha*x + (1-alpha)*prev. It is time-agnostic
+// (per-observation), used by predictors and the burst baseline.
+type EWMA struct {
+	alpha float64
+	value float64
+	set   bool
+}
+
+// NewEWMA returns an EWMA with the given alpha. It panics if alpha is
+// outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("window: EWMA alpha %v outside (0,1]", alpha))
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds observation x into the average and returns the new value.
+func (e *EWMA) Add(x float64) float64 {
+	if !e.set {
+		e.value = x
+		e.set = true
+		return x
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+	return e.value
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been folded in.
+func (e *EWMA) Initialized() bool { return e.set }
