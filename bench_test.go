@@ -101,6 +101,30 @@ func BenchmarkThroughputEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkThroughputSharded measures engine docs/sec as the shard count
+// sweeps 1 → 8 at the default MaxPairs budget (P1's parallel-speedup rows;
+// see DESIGN.md §4). Unlike the cyclic benchmarks above, each pass over the
+// workload is re-timestamped one window-span later, so evaluation ticks
+// keep firing at the stream's real cadence no matter how large b.N grows —
+// the number being measured is steady-state docs/sec including tick cost,
+// which is what sharding parallelises.
+func BenchmarkThroughputSharded(b *testing.B) {
+	items := throughputDocs(b)
+	span := items[len(items)-1].Time.Sub(items[0].Time) + time.Hour
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(benchName("shards", shards), func(b *testing.B) {
+			e := core.New(core.Config{SeedCount: 200, Shards: shards})
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := *items[i%len(items)]
+				it.Time = it.Time.Add(time.Duration(i/len(items)) * span)
+				e.Consume(&it)
+			}
+		})
+	}
+}
+
 // BenchmarkThroughputSharedPlans measures the multi-plan runner with shared
 // vs private operator prefixes (P1's sharing comparison).
 func BenchmarkThroughputSharedPlans(b *testing.B) {

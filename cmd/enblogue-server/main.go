@@ -31,6 +31,7 @@ import (
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	speedup := flag.Float64("speedup", 600, "time-lapse factor (event time / wall time)")
+	shards := flag.Int("shards", 0, "engine shards (0: one per CPU; rankings are shard-count independent)")
 	flag.Parse()
 
 	span := 48 * time.Hour
@@ -54,8 +55,10 @@ func main() {
 		MinCooccurrence:  3,
 		TopK:             10,
 		UpOnly:           true,
+		Shards:           *shards,
 		OnRanking:        srv.PublishRanking,
 	})
+	srv.AttachEngine(engine)
 
 	go func() {
 		replayer := &source.Replayer{Docs: docs, Speedup: *speedup, MaxSleep: 2 * time.Second}
@@ -69,8 +72,36 @@ func main() {
 		fmt.Println("enblogue-server: replay finished; final ranking stays live")
 	}()
 
-	fmt.Printf("enblogue-server: %d docs looping at %.0fx; listening on %s\n",
-		len(docs), *speedup, *addr)
+	// Wall-clock watchdog ticker: the engine is safe for concurrent use, so
+	// this goroutine calls Tick directly against the ingest goroutine — no
+	// external lock around the engine. When event-driven ticks go quiet
+	// (stream stall or replay end) it fires one catch-up evaluation at the
+	// stream clock, so clients see the final stretch of events scored; it
+	// does not fabricate event time beyond what the stream delivered.
+	go func() {
+		tickWall := time.Duration(float64(time.Hour) / *speedup)
+		if tickWall < time.Second {
+			tickWall = time.Second
+		}
+		lastAt := time.Time{}
+		lastWall := time.Now()
+		for range time.Tick(tickWall) {
+			cur := engine.CurrentRanking().At
+			if !cur.Equal(lastAt) {
+				lastAt, lastWall = cur, time.Now()
+				continue // event-driven ticks are keeping up
+			}
+			if time.Since(lastWall) < 3*tickWall {
+				continue
+			}
+			if at := engine.LastEventTime(); !at.IsZero() && at.After(lastAt) {
+				engine.Tick(at)
+			}
+		}
+	}()
+
+	fmt.Printf("enblogue-server: %d docs looping at %.0fx over %d shards; listening on %s\n",
+		len(docs), *speedup, engine.Shards(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fmt.Fprintf(os.Stderr, "enblogue-server: %v\n", err)
 		os.Exit(1)

@@ -31,6 +31,7 @@ func main() {
 	tickH := flag.Int("tick", 1, "evaluation tick in hours")
 	halfLifeH := flag.Int("halflife", 48, "score half-life in hours")
 	upOnly := flag.Bool("up-only", true, "score only correlation increases")
+	shards := flag.Int("shards", 0, "engine shards (0: one per CPU; rankings are shard-count independent)")
 	quiet := flag.Bool("quiet", false, "print only the final ranking")
 	flag.Parse()
 
@@ -86,6 +87,7 @@ func main() {
 		HalfLife:         time.Duration(*halfLifeH) * time.Hour,
 		TopK:             *topk,
 		UpOnly:           *upOnly,
+		Shards:           *shards,
 	}
 	if !*quiet {
 		cfg.OnRanking = printRanking

@@ -16,5 +16,11 @@
 // entity tagging, personalization, burst-detection baseline, data sources,
 // metrics, SSE server), runnable binaries under cmd/, and runnable
 // examples under examples/. The benchmarks in bench_test.go regenerate
-// every evaluation artifact of the paper; see DESIGN.md and EXPERIMENTS.md.
+// every evaluation artifact of the paper; see DESIGN.md.
+//
+// The engine core is sharded and concurrent: the pair space is partitioned
+// by hash across shards, ingest fans candidate pairs out to per-shard
+// locked trackers, and every evaluation tick scores all shards in parallel
+// before a deterministic top-k merge. Rankings are bit-identical for every
+// shard count, so sharding is purely a throughput knob; see DESIGN.md §3.
 package enblogue

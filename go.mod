@@ -1,0 +1,3 @@
+module enblogue
+
+go 1.24

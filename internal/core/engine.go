@@ -6,11 +6,22 @@
 // The engine is event-time driven: evaluation ticks fire as the stream's
 // timestamps pass tick boundaries, so archive replay ("time lapse on
 // archived data") and live consumption behave identically.
+//
+// The engine core is sharded: the pair space is partitioned by hash(Key) %
+// Shards, each shard owning its slice of the co-occurrence counters and of
+// the detector state behind its own lock. Consume fans a document's
+// candidate pairs out to shards, and every evaluation tick scores all
+// shards in parallel — one worker per shard — before merging the per-shard
+// top-k partial rankings deterministically. Rankings are bit-identical for
+// every shard count on a sequentially consumed stream; see DESIGN.md for
+// the argument. All exported Engine methods are safe for concurrent use.
 package core
 
 import (
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"enblogue/internal/entity"
@@ -23,7 +34,8 @@ import (
 
 // Config parameterises an Engine. The zero value is usable: it yields the
 // paper's defaults (Jaccard correlation, moving-average prediction, 2-day
-// half-life, hourly ticks over a 48-hour window).
+// half-life, hourly ticks over a 48-hour window) with one engine shard per
+// available CPU.
 type Config struct {
 	// WindowBuckets and WindowResolution define the sliding statistics
 	// window for tags and pairs. Defaults: 48 buckets × 1 hour.
@@ -48,6 +60,13 @@ type Config struct {
 
 	// MaxPairs caps tracked candidate pairs. Zero means 100000.
 	MaxPairs int
+
+	// Shards partitions the pair space for concurrent tracking and
+	// parallel tick evaluation. Rankings do not depend on the shard count
+	// when the stream is consumed sequentially, so this is purely a
+	// throughput knob. Zero means one shard per available CPU; one yields
+	// the serial reference engine.
+	Shards int
 
 	// Measure is the pair correlation measure. Default Jaccard.
 	Measure pairs.Measure
@@ -79,7 +98,12 @@ type Config struct {
 	// arrive with text but no entities.
 	Tagger *entity.Tagger
 
-	// OnRanking, when set, receives every tick's ranking.
+	// OnRanking, when set, receives every tick's ranking. It is invoked on
+	// the goroutine that triggered the tick, with the engine's tick lock
+	// held: the callback must not call Consume, Tick, or Flush on the same
+	// engine (read-only methods — CurrentRanking, Seeds, LastEventTime,
+	// ActivePairs, DocsProcessed — are lock-free or separately locked and
+	// are fine).
 	OnRanking func(Ranking)
 }
 
@@ -104,6 +128,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPairs <= 0 {
 		c.MaxPairs = 100000
+	}
+	if c.Shards <= 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
 	}
 	if c.HalfLife <= 0 {
 		c.HalfLife = shift.DefaultHalfLife
@@ -134,22 +161,35 @@ func (r Ranking) IDs() []string {
 }
 
 // Engine is the enBlogue core: it implements stream.Sink (and
-// stream.Flusher) and can therefore terminate any query plan.
+// stream.Flusher) and can therefore terminate any query plan. All exported
+// methods are safe for concurrent use — a live server can drive wall-clock
+// Ticks and serve CurrentRanking while an ingest goroutine Consumes.
 type Engine struct {
 	cfg Config
 
-	tags    *tagstats.Tracker
-	pairsTr *pairs.Tracker
-	dist    *pairs.DistTracker // non-nil in DistributionMode
-	det     *shift.Detector
-	seeds   *tagstats.SeedSelector
+	tags    *tagstats.Tracker      // guarded by mu
+	pairsTr *pairs.ShardedTracker  // internally sharded + locked
+	dist    *pairs.DistTracker     // non-nil in DistributionMode; internally locked
+	det     *shift.Sharded         // shard i touched only by tick worker i, under mu
+	seeds   *tagstats.SeedSelector // internally locked
 
-	docs     int64
+	docs atomic.Int64
+	// lastSeenNano is the newest consumed event timestamp in unix nanos (0
+	// before the first document). Written under mu, read lock-free so
+	// LastEventTime is callable from anywhere — including OnRanking
+	// callbacks, which run with mu held.
+	lastSeenNano atomic.Int64
+
+	// mu serialises stream bookkeeping (event clock, tick boundaries, tag
+	// statistics) and evaluation ticks against each other. Pair tracking
+	// itself happens outside mu under the per-shard tracker locks, so
+	// concurrent producers contend only on the shards they touch.
+	mu       sync.Mutex
 	nextTick time.Time
-	lastSeen time.Time
+	lastTick time.Time // newest evaluation time, guards forced-Tick rewinds
 
-	mu   sync.Mutex
-	last Ranking
+	rankMu sync.Mutex
+	last   Ranking
 }
 
 // New returns an engine with the given configuration.
@@ -160,6 +200,7 @@ func New(cfg Config) *Engine {
 		dist = pairs.NewDistTracker(pairs.Config{
 			Buckets:    c.WindowBuckets,
 			Resolution: c.WindowResolution,
+			MaxPairs:   c.MaxPairs,
 		})
 	}
 	return &Engine{
@@ -169,12 +210,13 @@ func New(cfg Config) *Engine {
 			Buckets:    c.WindowBuckets,
 			Resolution: c.WindowResolution,
 		}),
-		pairsTr: pairs.NewTracker(pairs.Config{
+		pairsTr: pairs.NewShardedTracker(pairs.Config{
 			Buckets:    c.WindowBuckets,
 			Resolution: c.WindowResolution,
 			MaxPairs:   c.MaxPairs,
+			Shards:     c.Shards,
 		}),
-		det: shift.NewDetector(shift.Config{
+		det: shift.NewSharded(c.Shards, shift.Config{
 			Measure:         c.Measure,
 			Predictor:       c.Predictor,
 			PredictorConfig: c.PredictorConfig,
@@ -190,13 +232,27 @@ func New(cfg Config) *Engine {
 func (e *Engine) Config() Config { return e.cfg }
 
 // DocsProcessed returns the number of consumed documents.
-func (e *Engine) DocsProcessed() int64 { return e.docs }
+func (e *Engine) DocsProcessed() int64 { return e.docs.Load() }
 
 // ActivePairs returns the number of tracked candidate pairs.
 func (e *Engine) ActivePairs() int { return e.pairsTr.ActivePairs() }
 
+// Shards returns the number of engine shards.
+func (e *Engine) Shards() int { return e.pairsTr.Shards() }
+
 // Seeds returns the current seed tag set, best first.
 func (e *Engine) Seeds() []string { return e.seeds.Seeds() }
+
+// LastEventTime returns the newest event timestamp consumed so far (zero
+// before the first document). Live servers use it to drive wall-clock Ticks
+// at the stream's own clock. Lock-free: safe even from OnRanking callbacks.
+func (e *Engine) LastEventTime() time.Time {
+	n := e.lastSeenNano.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n).UTC()
+}
 
 // itemTags resolves the tag set the engine operates on for an item.
 func (e *Engine) itemTags(it *stream.Item) []string {
@@ -212,14 +268,19 @@ func (e *Engine) itemTags(it *stream.Item) []string {
 
 // Consume implements stream.Sink: it feeds one tuple through seed
 // statistics and pair tracking, firing evaluation ticks as event time
-// passes tick boundaries.
+// passes tick boundaries. Safe for concurrent use; concurrent producers
+// serialise on the bookkeeping lock but fan pair updates out to the
+// tracker shards in parallel.
 func (e *Engine) Consume(it *stream.Item) {
 	if it == nil {
 		return
 	}
 	t := it.Time
-	if t.After(e.lastSeen) {
-		e.lastSeen = t
+	tags := e.itemTags(it)
+
+	e.mu.Lock()
+	if t.After(e.LastEventTime()) {
+		e.lastSeenNano.Store(t.UnixNano())
 	}
 
 	// Fire any ticks the stream has moved past. A pathological time jump
@@ -228,81 +289,175 @@ func (e *Engine) Consume(it *stream.Item) {
 		e.nextTick = t.Add(e.cfg.TickEvery)
 	}
 	if gap := t.Sub(e.nextTick); gap > 100*e.cfg.TickEvery {
-		e.tick(e.nextTick)
+		e.tickLocked(e.nextTick)
 		e.nextTick = t.Add(e.cfg.TickEvery)
 	}
 	for !e.nextTick.After(t) {
-		e.tick(e.nextTick)
+		e.tickLocked(e.nextTick)
 		e.nextTick = e.nextTick.Add(e.cfg.TickEvery)
 	}
 
-	tags := e.itemTags(it)
 	e.tags.Observe(t, tags)
-	e.docs++
+	docs := e.docs.Add(1)
 
 	// Bootstrap the seed set once enough documents have arrived, so pair
 	// tracking starts before the first tick.
-	if len(e.seeds.Seeds()) == 0 && e.docs >= int64(e.cfg.SeedWarmupDocs) {
+	if len(e.seeds.Seeds()) == 0 && docs >= int64(e.cfg.SeedWarmupDocs) {
 		e.seeds.Reselect(e.tags)
 	}
-	e.pairsTr.Observe(t, tags, e.seeds.IsSeed)
+	isSeed := e.seeds.Func()
+	e.mu.Unlock()
+
+	// Pair tracking runs outside the bookkeeping lock: the sharded tracker
+	// locks only the shards this document's candidate pairs hash to.
+	e.pairsTr.Observe(t, tags, isSeed)
 	if e.dist != nil {
 		e.dist.Observe(t, tags)
 	}
 }
 
 // Flush implements stream.Flusher: it runs a final evaluation tick at the
-// last observed event time.
+// last observed event time — unless an evaluation at (or after) that time
+// already ran, in which case re-evaluating would only feed every pair's
+// predictor a duplicate observation.
 func (e *Engine) Flush() {
-	if !e.lastSeen.IsZero() {
-		e.tick(e.lastSeen)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if at := e.LastEventTime(); !at.IsZero() && at.After(e.lastTick) {
+		e.tickLocked(at)
 	}
 }
 
 // Tick forces an evaluation at time t (used by callers driving their own
 // tick schedule, e.g. benchmarks or the live server's wall-clock timer).
-func (e *Engine) Tick(t time.Time) Ranking { return e.tick(t) }
-
-// tick reselects seeds, evaluates every candidate pair, publishes the
-// ranking, and sweeps dead detector state.
-func (e *Engine) tick(t time.Time) Ranking {
-	seeds := e.seeds.Reselect(e.tags)
-
-	n := e.tags.DocCount()
-	keys := e.pairsTr.Keys()
-	topics := make([]shift.Topic, 0, len(keys))
-	keep := make(map[pairs.Key]bool, len(keys))
-	for _, k := range keys {
-		keep[k] = true
-		nab := e.pairsTr.Cooccurrence(k)
-		var topic shift.Topic
-		if e.dist != nil {
-			topic = e.det.EvaluateCorrelation(t, k, e.dist.Similarity(k.Tag1, k.Tag2), nab)
-		} else {
-			na := e.tags.Count(k.Tag1)
-			nb := e.tags.Count(k.Tag2)
-			topic = e.det.Evaluate(t, k, nab, na, nb, n)
-		}
-		if topic.Score > 0 {
-			topics = append(topics, topic)
-		}
+// Safe for concurrent use with Consume. A t at or before the newest
+// evaluation already run is ignored (the current ranking is returned
+// unchanged): a wall-clock ticker that loaded LastEventTime just before an
+// event-driven tick fired must not rewind the published ranking or feed
+// the predictors a duplicate observation.
+func (e *Engine) Tick(t time.Time) Ranking {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !t.After(e.lastTick) {
+		return e.CurrentRanking()
 	}
+	return e.tickLocked(t)
+}
+
+// forEachShard runs fn(0..n-1) — inline for a single shard, one goroutine
+// per shard otherwise, returning when all complete.
+func forEachShard(n int, fn func(int)) {
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			fn(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// sortTopics orders topics by descending score, ties broken by the pair
+// rendering — the engine's deterministic ranking order.
+func sortTopics(topics []shift.Topic) {
 	sort.Slice(topics, func(i, j int) bool {
 		if topics[i].Score != topics[j].Score {
 			return topics[i].Score > topics[j].Score
 		}
 		return topics[i].Pair.String() < topics[j].Pair.String()
 	})
+}
+
+// tickLocked reselects seeds, evaluates every candidate pair — all shards
+// in parallel, one worker per shard — merges the per-shard top-k partial
+// rankings, publishes the result, and sweeps dead detector state. The
+// caller must hold e.mu.
+//
+// The merge is exact: a topic in the global top-k is necessarily in its own
+// shard's top-k, so concatenating the per-shard prefixes and re-sorting
+// with the same comparator yields the same ranking a single global sort
+// would.
+func (e *Engine) tickLocked(t time.Time) Ranking {
+	if t.After(e.lastTick) {
+		e.lastTick = t
+	}
+	seeds := e.seeds.Reselect(e.tags)
+
+	n := e.tags.DocCount()
+	// One snapshot per tick of whatever the workers will read — tag counts
+	// or co-tag distributions — so the parallel shard workers never touch
+	// (and mutate, or serialise on) the shared trackers.
+	var counts map[string]float64
+	var dists map[string]map[string]float64
+	if e.dist == nil {
+		counts = e.tags.Counts()
+	} else {
+		dists = e.dist.Snapshot()
+	}
+
+	// Snapshot every shard's pairs first, then decide the round advance
+	// from the snapshots themselves: the workers evaluate exactly these
+	// pairs, so the shard detectors' evaluation-round clocks advance
+	// precisely when a single global detector would — even if a concurrent
+	// producer is inserting pairs mid-tick.
+	nsh := e.pairsTr.Shards()
+	snaps := make([][]pairs.PairCount, nsh)
+	forEachShard(nsh, func(i int) { snaps[i] = e.pairsTr.Snapshot(i) })
+	total := 0
+	for _, s := range snaps {
+		total += len(s)
+	}
+	if total > 0 {
+		e.det.BeginTick(t)
+	}
+
+	perShard := make([][]shift.Topic, nsh)
+	eval := func(i int) {
+		snap := snaps[i]
+		det := e.det.Shard(i)
+		topics := make([]shift.Topic, 0, len(snap))
+		keep := make(map[pairs.Key]bool, len(snap))
+		for _, pc := range snap {
+			keep[pc.Key] = true
+			var topic shift.Topic
+			if e.dist != nil {
+				topic = det.EvaluateCorrelation(t, pc.Key,
+					pairs.SimilarityFrom(dists, pc.Key.Tag1, pc.Key.Tag2), pc.Count)
+			} else {
+				topic = det.Evaluate(t, pc.Key, pc.Count,
+					counts[pc.Key.Tag1], counts[pc.Key.Tag2], n)
+			}
+			if topic.Score > 0 {
+				topics = append(topics, topic)
+			}
+		}
+		sortTopics(topics)
+		if len(topics) > e.cfg.TopK {
+			topics = topics[:e.cfg.TopK]
+		}
+		det.Sweep(t, keep, 1e-9)
+		perShard[i] = topics
+	}
+	forEachShard(nsh, eval)
+
+	var topics []shift.Topic
+	for _, ts := range perShard {
+		topics = append(topics, ts...)
+	}
+	sortTopics(topics)
 	if len(topics) > e.cfg.TopK {
 		topics = topics[:e.cfg.TopK]
 	}
 
-	e.det.Sweep(t, keep, 1e-9)
-
 	r := Ranking{At: t, Seeds: seeds, Topics: topics}
-	e.mu.Lock()
+	e.rankMu.Lock()
 	e.last = r
-	e.mu.Unlock()
+	e.rankMu.Unlock()
 	if e.cfg.OnRanking != nil {
 		e.cfg.OnRanking(r)
 	}
@@ -312,7 +467,7 @@ func (e *Engine) tick(t time.Time) Ranking {
 // CurrentRanking returns the most recent ranking. Safe for concurrent use
 // with the consuming goroutine.
 func (e *Engine) CurrentRanking() Ranking {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.rankMu.Lock()
+	defer e.rankMu.Unlock()
 	return e.last
 }

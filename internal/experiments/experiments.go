@@ -5,8 +5,7 @@
 // and ablation studies. Each experiment prints a table or series to a
 // writer and returns a structured result that the test suite asserts on.
 //
-// See DESIGN.md §4 for the experiment index and EXPERIMENTS.md for
-// paper-vs-measured outcomes.
+// See DESIGN.md §4 for the experiment index.
 package experiments
 
 import (

@@ -12,6 +12,7 @@ package pairs
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Measure identifies a correlation measure over windowed counts: nab
@@ -118,32 +119,56 @@ func (m Measure) Compute(nab, na, nb, n float64) float64 {
 	}
 }
 
+// unionSupport returns the sorted union of the two maps' keys (optionally
+// only those with positive mass). Iterating support in sorted order makes
+// the floating-point accumulation below reproducible: Go map iteration
+// order is randomised per run, and summation order changes results in the
+// last ulps — enough to flip a zero prediction error into a positive one.
+func unionSupport(p, q map[string]float64, positiveOnly bool) []string {
+	support := make([]string, 0, len(p)+len(q))
+	seen := make(map[string]bool, len(p)+len(q))
+	for k, v := range p {
+		if !positiveOnly || v > 0 {
+			support = append(support, k)
+			seen[k] = true
+		}
+	}
+	for k, v := range q {
+		if seen[k] {
+			continue
+		}
+		if !positiveOnly || v > 0 {
+			support = append(support, k)
+		}
+	}
+	sort.Strings(support)
+	return support
+}
+
 // KLDivergence returns the Kullback–Leibler divergence D(p‖q) between two
 // discrete distributions given as count maps, with add-lambda smoothing over
 // the union support. The paper: "we can apply information-theory measures
 // like relative entropy to assess the similarity of tag/term usage."
+// The result is deterministic in the map contents (summation runs in sorted
+// key order).
 func KLDivergence(p, q map[string]float64, lambda float64) float64 {
 	if lambda <= 0 {
 		lambda = 1e-3
 	}
-	support := make(map[string]bool, len(p)+len(q))
-	var pTotal, qTotal float64
-	for k, v := range p {
-		support[k] = true
-		pTotal += v
-	}
-	for k, v := range q {
-		support[k] = true
-		qTotal += v
-	}
+	support := unionSupport(p, q, false)
 	if len(support) == 0 {
 		return 0
+	}
+	var pTotal, qTotal float64
+	for _, k := range support {
+		pTotal += p[k]
+		qTotal += q[k]
 	}
 	v := float64(len(support))
 	pTotal += lambda * v
 	qTotal += lambda * v
 	var d float64
-	for k := range support {
+	for _, k := range support {
 		pk := (p[k] + lambda) / pTotal
 		qk := (q[k] + lambda) / qTotal
 		d += pk * math.Log(pk/qk)
@@ -156,19 +181,17 @@ func KLDivergence(p, q map[string]float64, lambda float64) float64 {
 
 // JSDistance returns the Jensen–Shannon distance (square root of the JS
 // divergence, base-2) between two count maps: a symmetric, bounded [0, 1]
-// relative-entropy similarity suitable as a correlation signal.
+// relative-entropy similarity suitable as a correlation signal. The result
+// is deterministic in the map contents (summation runs in sorted key
+// order).
 func JSDistance(p, q map[string]float64) float64 {
-	support := make(map[string]bool, len(p)+len(q))
+	support := unionSupport(p, q, true)
 	var pTotal, qTotal float64
-	for k, v := range p {
-		if v > 0 {
-			support[k] = true
+	for _, k := range support {
+		if v := p[k]; v > 0 {
 			pTotal += v
 		}
-	}
-	for k, v := range q {
-		if v > 0 {
-			support[k] = true
+		if v := q[k]; v > 0 {
 			qTotal += v
 		}
 	}
@@ -179,7 +202,7 @@ func JSDistance(p, q map[string]float64) float64 {
 		return 1
 	}
 	var js float64
-	for k := range support {
+	for _, k := range support {
 		pk := p[k] / pTotal
 		qk := q[k] / qTotal
 		m := (pk + qk) / 2

@@ -1,0 +1,319 @@
+package pairs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"enblogue/internal/window"
+)
+
+// Shard maps the pair to one of n shards. The function is pure in the key
+// contents: the same key always lands on the same shard for a given n, and
+// for n == 1 every key lands on shard 0.
+func (k Key) Shard(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(k.hash() % uint64(n))
+}
+
+// hash returns a stable 64-bit hash of the canonical pair rendering: FNV-1a
+// with a final avalanche mix. FNV is used instead of maphash so shard
+// assignment is identical across processes — replaying the same stream in
+// two runs shards identically. The avalanche step (splitmix64's finaliser)
+// fixes FNV's weak low bits, which otherwise skew modulo power-of-two shard
+// counts.
+func (k Key) hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(k.Tag1); i++ {
+		h ^= uint64(k.Tag1[i])
+		h *= prime64
+	}
+	h ^= '+'
+	h *= prime64
+	for i := 0; i < len(k.Tag2); i++ {
+		h ^= uint64(k.Tag2[i])
+		h *= prime64
+	}
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// PairCount is one tracked pair and its windowed co-occurrence count, as
+// returned by ShardedTracker.Snapshot.
+type PairCount struct {
+	Key   Key
+	Count float64
+}
+
+// trackerShard owns one partition of the pair space: its counters and the
+// lock that guards them. The window clock is tracker-global (nowNano), not
+// per shard, so quiet shards expire their counters at the same times the
+// serial Tracker would.
+type trackerShard struct {
+	mu    sync.Mutex
+	pairs map[Key]*window.Counter
+}
+
+// ShardedTracker is the concurrent counterpart of Tracker: the pair space is
+// partitioned by hash(Key) % Shards, each shard guarded by its own lock.
+// Observe groups a document's candidate pairs by shard and takes each shard
+// lock once; readers (Cooccurrence, Snapshot, Keys) lock only the shards
+// they touch, so ingest and evaluation proceed in parallel on disjoint
+// shards.
+//
+// Semantics are shard-count independent for a sequentially observed stream:
+// sweeps trigger on the same global document counts as the serial Tracker,
+// and over-budget eviction ranks all pairs globally by (count, key) before
+// deleting — so a ShardedTracker with 1 shard and one with N shards hold
+// exactly the same pairs with the same counts at every point. This is what
+// lets the sharded engine reproduce the serial engine's rankings
+// bit-identically.
+type ShardedTracker struct {
+	cfg     Config
+	shards  []*trackerShard
+	npairs  atomic.Int64 // total tracked pairs across shards
+	nowNano atomic.Int64 // max observed event time, unix nanos
+	sinceGC atomic.Int64 // Observe calls since the last sweep
+	sweepMu sync.Mutex   // serialises whole-tracker sweeps
+}
+
+// NewShardedTracker returns a sharded pair tracker. cfg.Shards <= 1 yields a
+// single shard, which behaves exactly like the serial Tracker.
+func NewShardedTracker(cfg Config) *ShardedTracker {
+	c := cfg.withDefaults()
+	n := c.Shards
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]*trackerShard, n)
+	for i := range shards {
+		shards[i] = &trackerShard{pairs: make(map[Key]*window.Counter)}
+	}
+	return &ShardedTracker{cfg: c, shards: shards}
+}
+
+// Shards returns the number of shards.
+func (tr *ShardedTracker) Shards() int { return len(tr.shards) }
+
+// Span returns the co-occurrence window span.
+func (tr *ShardedTracker) Span() time.Duration {
+	return time.Duration(tr.cfg.Buckets) * tr.cfg.Resolution
+}
+
+// now returns the tracker-global clock: the max event time observed so far.
+func (tr *ShardedTracker) now() time.Time {
+	n := tr.nowNano.Load()
+	if n == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, n)
+}
+
+// advanceNow lifts the global clock to t if t is newer.
+func (tr *ShardedTracker) advanceNow(t time.Time) {
+	n := t.UnixNano()
+	for {
+		cur := tr.nowNano.Load()
+		if n <= cur && cur != 0 {
+			return
+		}
+		if tr.nowNano.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
+// Observe records one document's tag set at time t, incrementing the
+// co-occurrence count of every candidate pair (pairs with at least one tag
+// satisfying isSeed; nil isSeed tracks all pairs). Safe for concurrent use;
+// concurrent observers contend only on the shards their pairs hash to.
+func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string) bool) {
+	tr.advanceNow(t)
+	if len(tags) >= 2 {
+		uniq := dedupTags(tags)
+		if len(tr.shards) == 1 {
+			// Serial-reference fast path: one lock, counters updated
+			// inline, no grouping buffers.
+			sh := tr.shards[0]
+			sh.mu.Lock()
+			forEachCandidatePair(uniq, isSeed, func(k Key) { tr.incLocked(sh, k, t) })
+			sh.mu.Unlock()
+		} else {
+			// Group this document's candidate pairs by shard so each shard
+			// lock is taken at most once per document.
+			byShard := make([][]Key, len(tr.shards))
+			forEachCandidatePair(uniq, isSeed, func(k Key) {
+				s := k.Shard(len(tr.shards))
+				byShard[s] = append(byShard[s], k)
+			})
+			for s, keys := range byShard {
+				if len(keys) == 0 {
+					continue
+				}
+				sh := tr.shards[s]
+				sh.mu.Lock()
+				for _, k := range keys {
+					tr.incLocked(sh, k, t)
+				}
+				sh.mu.Unlock()
+			}
+		}
+	}
+	// Sweep on the same global triggers as the serial Tracker: every
+	// SweepEvery observed documents, or immediately when over budget.
+	tr.sinceGC.Add(1)
+	if tr.sweepDue() {
+		tr.sweepMu.Lock()
+		// Re-check after acquiring the lock: a concurrent producer that
+		// crossed the threshold at the same time may have already swept.
+		if tr.sweepDue() {
+			tr.sweepLocked()
+		}
+		tr.sweepMu.Unlock()
+	}
+}
+
+// incLocked upserts pair k's counter in sh and records the event at time
+// t. The caller must hold sh.mu.
+func (tr *ShardedTracker) incLocked(sh *trackerShard, k Key, t time.Time) {
+	c, ok := sh.pairs[k]
+	if !ok {
+		c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
+		sh.pairs[k] = c
+		tr.npairs.Add(1)
+	}
+	c.Inc(t)
+}
+
+// sweepDue reports whether a sweep trigger is pending.
+func (tr *ShardedTracker) sweepDue() bool {
+	return tr.sinceGC.Load() >= int64(tr.cfg.SweepEvery) ||
+		tr.npairs.Load() > int64(tr.cfg.MaxPairs)
+}
+
+// Sweep advances every counter to the tracker clock, drops pairs whose
+// windows have emptied, and — if the tracker is still over MaxPairs —
+// evicts the pairs with the smallest windowed counts, ties broken by key,
+// ranked globally across all shards. Safe for concurrent use.
+func (tr *ShardedTracker) Sweep() {
+	tr.sweepMu.Lock()
+	defer tr.sweepMu.Unlock()
+	tr.sweepLocked()
+}
+
+// sweepLocked is Sweep's body; callers must hold sweepMu.
+func (tr *ShardedTracker) sweepLocked() {
+	tr.sinceGC.Store(0)
+	now := tr.now()
+	if now.IsZero() {
+		return
+	}
+	for _, sh := range tr.shards {
+		sh.mu.Lock()
+		for k, c := range sh.pairs {
+			c.Observe(now)
+			if c.Value() == 0 {
+				delete(sh.pairs, k)
+				tr.npairs.Add(-1)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if tr.npairs.Load() <= int64(tr.cfg.MaxPairs) {
+		return
+	}
+	// Still over budget: rank all pairs globally and evict the smallest,
+	// with the same ordering every tracker uses (evictSmallest).
+	all := make([]counted[Key], 0, tr.npairs.Load())
+	for _, sh := range tr.shards {
+		sh.mu.Lock()
+		for k, c := range sh.pairs {
+			all = append(all, counted[Key]{k, k.String(), c.Value()})
+		}
+		sh.mu.Unlock()
+	}
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), func(k Key) {
+		sh := tr.shards[k.Shard(len(tr.shards))]
+		sh.mu.Lock()
+		if _, ok := sh.pairs[k]; ok {
+			delete(sh.pairs, k)
+			tr.npairs.Add(-1)
+		}
+		sh.mu.Unlock()
+	})
+}
+
+// Cooccurrence returns the number of windowed documents carrying both tags
+// of the pair. Safe for concurrent use.
+func (tr *ShardedTracker) Cooccurrence(k Key) float64 {
+	sh := tr.shards[k.Shard(len(tr.shards))]
+	now := tr.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.pairs[k]
+	if !ok {
+		return 0
+	}
+	c.Observe(now)
+	return c.Value()
+}
+
+// Series returns the per-bucket co-occurrence counts of the pair, oldest
+// first, or nil if the pair is not tracked. Safe for concurrent use.
+func (tr *ShardedTracker) Series(k Key) []float64 {
+	sh := tr.shards[k.Shard(len(tr.shards))]
+	now := tr.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	c, ok := sh.pairs[k]
+	if !ok {
+		return nil
+	}
+	c.Observe(now)
+	return c.Series()
+}
+
+// ActivePairs returns the number of pairs currently tracked across shards.
+func (tr *ShardedTracker) ActivePairs() int { return int(tr.npairs.Load()) }
+
+// Keys returns all tracked pair keys across shards in unspecified order.
+func (tr *ShardedTracker) Keys() []Key {
+	out := make([]Key, 0, tr.npairs.Load())
+	for _, sh := range tr.shards {
+		sh.mu.Lock()
+		for k := range sh.pairs {
+			out = append(out, k)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// Snapshot returns shard i's pairs with counters advanced to the tracker
+// clock. It takes shard i's lock exactly once, making it the preferred read
+// path for per-shard evaluation workers: each worker snapshots its own
+// shard and then computes without holding any lock.
+func (tr *ShardedTracker) Snapshot(i int) []PairCount {
+	sh := tr.shards[i]
+	now := tr.now()
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := make([]PairCount, 0, len(sh.pairs))
+	for k, c := range sh.pairs {
+		if !now.IsZero() {
+			c.Observe(now)
+		}
+		out = append(out, PairCount{Key: k, Count: c.Value()})
+	}
+	return out
+}

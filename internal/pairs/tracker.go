@@ -2,6 +2,7 @@ package pairs
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"enblogue/internal/window"
@@ -44,12 +45,16 @@ type Config struct {
 	Buckets    int
 	Resolution time.Duration
 	// MaxPairs caps tracked pairs; when exceeded at sweep time the pairs
-	// with the smallest windowed co-occurrence are evicted first. Zero
-	// means 100000.
+	// with the smallest windowed co-occurrence are evicted first, down to
+	// 10% below the cap so a saturated tracker does not re-sweep on every
+	// document. Zero means 100000.
 	MaxPairs int
 	// SweepEvery controls eviction frequency in observed documents.
 	// Zero means 2048.
 	SweepEvery int
+	// Shards partitions the pair space for ShardedTracker; the serial
+	// Tracker ignores it. Zero or one means a single shard.
+	Shards int
 }
 
 func (c *Config) withDefaults() Config {
@@ -67,6 +72,81 @@ func (c *Config) withDefaults() Config {
 		out.SweepEvery = 2048
 	}
 	return out
+}
+
+// dedupTags returns tags with empties and duplicates removed, preserving
+// first-seen order; pair generation assumes a set. Shared by the serial,
+// sharded, and distribution trackers so candidate generation stays
+// identical across them — the sharded engine's bit-identical-rankings
+// guarantee depends on it.
+func dedupTags(tags []string) []string {
+	uniq := tags[:0:0]
+	seen := make(map[string]bool, len(tags))
+	for _, tag := range tags {
+		if tag == "" || seen[tag] {
+			continue
+		}
+		seen[tag] = true
+		uniq = append(uniq, tag)
+	}
+	return uniq
+}
+
+// forEachCandidatePair invokes fn for every unordered pair of distinct
+// tags from uniq (already deduplicated) of which at least one satisfies
+// isSeed; nil isSeed admits every pair. Shared by the serial and sharded
+// trackers so the candidate rule stays identical across them — another
+// leg of the bit-identical-rankings guarantee.
+func forEachCandidatePair(uniq []string, isSeed func(string) bool, fn func(Key)) {
+	for i := 0; i < len(uniq); i++ {
+		for j := i + 1; j < len(uniq); j++ {
+			if isSeed != nil && !isSeed(uniq[i]) && !isSeed(uniq[j]) {
+				continue
+			}
+			fn(MakeKey(uniq[i], uniq[j]))
+		}
+	}
+}
+
+// counted pairs an evictable entry with its windowed count and a stable
+// identifier used for deterministic tie-breaking.
+type counted[K any] struct {
+	key K
+	id  string
+	v   float64
+}
+
+// evictTarget is the post-eviction size for an over-budget tracker: 10%
+// below MaxPairs (never below 1). The hysteresis keeps a saturated tracker
+// from re-triggering a full collect-and-sort sweep on every subsequent
+// document that adds one new entry.
+func evictTarget(maxPairs int) int {
+	t := maxPairs - maxPairs/10
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// evictSmallest deletes the entries with the smallest counts (ties broken
+// by id ascending) until at most keep remain, invoking drop for each
+// victim. Every tracker's over-budget eviction routes through here so the
+// ordering stays identical across the serial, sharded, and distribution
+// paths — the sharded engine's bit-identical-rankings guarantee depends on
+// it.
+func evictSmallest[K any](all []counted[K], keep int, drop func(K)) {
+	if len(all) <= keep {
+		return
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].v != all[j].v {
+			return all[i].v < all[j].v
+		}
+		return all[i].id < all[j].id
+	})
+	for _, e := range all[:len(all)-keep] {
+		drop(e.key)
+	}
 }
 
 // Tracker maintains windowed co-occurrence counts for candidate tag pairs.
@@ -102,30 +182,14 @@ func (tr *Tracker) Observe(t time.Time, tags []string, isSeed func(string) bool)
 		tr.maybeSweep()
 		return
 	}
-	// Deduplicate the document's tags; pair generation assumes a set.
-	uniq := tags[:0:0]
-	seen := make(map[string]bool, len(tags))
-	for _, tag := range tags {
-		if tag == "" || seen[tag] {
-			continue
+	forEachCandidatePair(dedupTags(tags), isSeed, func(k Key) {
+		c, ok := tr.pairs[k]
+		if !ok {
+			c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
+			tr.pairs[k] = c
 		}
-		seen[tag] = true
-		uniq = append(uniq, tag)
-	}
-	for i := 0; i < len(uniq); i++ {
-		for j := i + 1; j < len(uniq); j++ {
-			if isSeed != nil && !isSeed(uniq[i]) && !isSeed(uniq[j]) {
-				continue
-			}
-			k := MakeKey(uniq[i], uniq[j])
-			c, ok := tr.pairs[k]
-			if !ok {
-				c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
-				tr.pairs[k] = c
-			}
-			c.Inc(t)
-		}
-	}
+		c.Inc(t)
+	})
 	tr.maybeSweep()
 }
 
@@ -145,23 +209,11 @@ func (tr *Tracker) maybeSweep() {
 		return
 	}
 	// Still over budget: evict the smallest co-occurrence counts.
-	type kc struct {
-		k Key
-		v float64
-	}
-	all := make([]kc, 0, len(tr.pairs))
+	all := make([]counted[Key], 0, len(tr.pairs))
 	for k, c := range tr.pairs {
-		all = append(all, kc{k, c.Value()})
+		all = append(all, counted[Key]{k, k.String(), c.Value()})
 	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].v != all[j].v {
-			return all[i].v < all[j].v
-		}
-		return all[i].k.String() < all[j].k.String()
-	})
-	for _, e := range all[:len(all)-tr.cfg.MaxPairs] {
-		delete(tr.pairs, e.k)
-	}
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), func(k Key) { delete(tr.pairs, k) })
 }
 
 // Cooccurrence returns the number of windowed documents carrying both tags
@@ -222,11 +274,19 @@ func (tr *Tracker) Correlation(k Key, m Measure, na, nb, n float64) float64 {
 // co-occur with it — the "documents represented by their entire tag sets"
 // variant. Correlation between two tags is then a relative-entropy
 // similarity of their co-tag usage distributions.
+//
+// Memory is bounded: the total number of (tag, co-tag) counters is capped at
+// MaxPairs; when a sweep finds the tracker over budget, the counters with
+// the smallest windowed counts are evicted first — the same policy the
+// plain Tracker applies to pairs. Safe for concurrent use: all methods are
+// serialised by an internal mutex.
 type DistTracker struct {
-	cfg     Config
-	byTag   map[string]map[string]*window.Counter
-	now     time.Time
-	sinceGC int
+	mu       sync.Mutex
+	cfg      Config
+	byTag    map[string]map[string]*window.Counter
+	counters int // total (tag, co-tag) counters across byTag
+	now      time.Time
+	sinceGC  int
 }
 
 // NewDistTracker returns a distribution tracker with the given window.
@@ -237,18 +297,12 @@ func NewDistTracker(cfg Config) *DistTracker {
 
 // Observe records the co-tag distribution contributions of one document.
 func (dt *DistTracker) Observe(t time.Time, tags []string) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
 	if t.After(dt.now) {
 		dt.now = t
 	}
-	seen := make(map[string]bool, len(tags))
-	uniq := tags[:0:0]
-	for _, tag := range tags {
-		if tag == "" || seen[tag] {
-			continue
-		}
-		seen[tag] = true
-		uniq = append(uniq, tag)
-	}
+	uniq := dedupTags(tags)
 	for _, a := range uniq {
 		for _, b := range uniq {
 			if a == b {
@@ -263,16 +317,20 @@ func (dt *DistTracker) Observe(t time.Time, tags []string) {
 			if !ok {
 				c = window.NewCounter(dt.cfg.Buckets, dt.cfg.Resolution)
 				m[b] = c
+				dt.counters++
 			}
 			c.Inc(t)
 		}
 	}
 	dt.sinceGC++
-	if dt.sinceGC >= dt.cfg.SweepEvery {
+	if dt.sinceGC >= dt.cfg.SweepEvery || dt.counters > dt.cfg.MaxPairs {
 		dt.sweep()
 	}
 }
 
+// sweep drops emptied counters and, if still over the MaxPairs budget,
+// evicts the smallest-count (tag, co-tag) entries first, ties broken by the
+// "tag→co" rendering for determinism. Callers must hold dt.mu.
 func (dt *DistTracker) sweep() {
 	dt.sinceGC = 0
 	for tag, m := range dt.byTag {
@@ -280,17 +338,51 @@ func (dt *DistTracker) sweep() {
 			c.Observe(dt.now)
 			if c.Value() == 0 {
 				delete(m, co)
+				dt.counters--
 			}
 		}
 		if len(m) == 0 {
 			delete(dt.byTag, tag)
 		}
 	}
+	if dt.counters <= dt.cfg.MaxPairs {
+		return
+	}
+	type distKey struct{ tag, co string }
+	all := make([]counted[distKey], 0, dt.counters)
+	for tag, m := range dt.byTag {
+		for co, c := range m {
+			// "\x00" sorts before any tag byte, so the concatenated id
+			// orders exactly like comparing (tag, co) pairwise.
+			all = append(all, counted[distKey]{distKey{tag, co}, tag + "\x00" + co, c.Value()})
+		}
+	}
+	evictSmallest(all, evictTarget(dt.cfg.MaxPairs), func(k distKey) {
+		delete(dt.byTag[k.tag], k.co)
+		if len(dt.byTag[k.tag]) == 0 {
+			delete(dt.byTag, k.tag)
+		}
+		dt.counters--
+	})
+}
+
+// Counters returns the total number of (tag, co-tag) counters tracked.
+func (dt *DistTracker) Counters() int {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.counters
 }
 
 // Distribution returns tag's windowed co-tag counts as a map. The map is
 // freshly allocated.
 func (dt *DistTracker) Distribution(tag string) map[string]float64 {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	return dt.distributionLocked(tag)
+}
+
+// distributionLocked is Distribution's body; callers must hold dt.mu.
+func (dt *DistTracker) distributionLocked(tag string) map[string]float64 {
 	m, ok := dt.byTag[tag]
 	if !ok {
 		return nil
@@ -310,11 +402,62 @@ func (dt *DistTracker) Distribution(tag string) map[string]float64 {
 // relative-entropy correlation the paper sketches for distribution-valued
 // documents. The pair members themselves are excluded from both
 // distributions: the comparison asks whether a and b keep the same
-// *company*, and each is trivially its partner's company.
+// *company*, and each is trivially its partner's company. Both snapshots
+// are taken under one lock acquisition, so a concurrent Observe cannot
+// land between them and skew the comparison.
 func (dt *DistTracker) Similarity(a, b string) float64 {
-	da := dt.Distribution(a)
+	dt.mu.Lock()
+	da := dt.distributionLocked(a)
+	db := dt.distributionLocked(b)
+	dt.mu.Unlock()
 	delete(da, b)
-	db := dt.Distribution(b)
 	delete(db, a)
+	return similarity(da, db)
+}
+
+// similarity is the shared Similarity/SimilarityFrom core. Two empty
+// distributions mean no usage evidence at all — e.g. both tags' co-tag
+// counters were evicted under memory pressure — and score 0, not the 1.0
+// that "identical (empty) usage" would naively yield: a spurious perfect
+// correlation would register as a large prediction error and fabricate an
+// emergent topic.
+func similarity(da, db map[string]float64) float64 {
+	if len(da) == 0 && len(db) == 0 {
+		return 0
+	}
 	return 1 - JSDistance(da, db)
+}
+
+// Snapshot returns every tag's windowed co-tag distribution, advanced to
+// the tracker clock, under a single lock acquisition. Parallel evaluation
+// workers take one snapshot per tick and compute similarities lock-free
+// via SimilarityFrom instead of serialising on the tracker mutex per pair.
+func (dt *DistTracker) Snapshot() map[string]map[string]float64 {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	out := make(map[string]map[string]float64, len(dt.byTag))
+	for tag := range dt.byTag {
+		out[tag] = dt.distributionLocked(tag)
+	}
+	return out
+}
+
+// copyExcluding returns m without key ex, leaving m untouched (snapshots
+// are shared across workers and must not be mutated).
+func copyExcluding(m map[string]float64, ex string) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, v := range m {
+		if k != ex {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SimilarityFrom computes Similarity's result from a Snapshot, with the
+// same partner-exclusion semantics, without locking or mutating the
+// snapshot. Values are identical to calling Similarity on the tracker at
+// snapshot time.
+func SimilarityFrom(dists map[string]map[string]float64, a, b string) float64 {
+	return similarity(copyExcluding(dists[a], b), copyExcluding(dists[b], a))
 }

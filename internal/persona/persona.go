@@ -9,6 +9,7 @@ package persona
 import (
 	"sort"
 	"strings"
+	"sync"
 
 	"enblogue/internal/pairs"
 	"enblogue/internal/text"
@@ -134,8 +135,12 @@ func Rerank(topics []Topic, p *Profile) []Topic {
 
 // Registry holds the standing profiles of all connected users. It powers
 // show case 3, where "users can change their preferences at any time and
-// observe the impact".
+// observe the impact". Safe for concurrent use: HTTP handlers register
+// profiles while the ranking publisher reranks against them. Stored
+// profiles are copied on Set and never mutated afterwards, so readers need
+// no lock beyond the map access.
 type Registry struct {
+	mu       sync.RWMutex
 	profiles map[string]*Profile
 }
 
@@ -150,25 +155,41 @@ func (r *Registry) Set(p *Profile) {
 		return
 	}
 	cp := *p
+	r.mu.Lock()
 	r.profiles[p.Name] = &cp
+	r.mu.Unlock()
 }
 
-// Get returns the profile registered under name, or nil.
+// Get returns the profile registered under name, or nil. Callers must not
+// mutate it.
 func (r *Registry) Get(name string) *Profile {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.profiles[name]
 }
 
 // Remove deletes a profile.
 func (r *Registry) Remove(name string) {
+	r.mu.Lock()
 	delete(r.profiles, name)
+	r.mu.Unlock()
+}
+
+// Len returns the number of registered profiles.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.profiles)
 }
 
 // Names returns the registered profile names, sorted.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
 	out := make([]string, 0, len(r.profiles))
 	for n := range r.profiles {
 		out = append(out, n)
 	}
+	r.mu.RUnlock()
 	sort.Strings(out)
 	return out
 }
@@ -176,8 +197,14 @@ func (r *Registry) Names() []string {
 // RerankAll produces each registered user's personalized view of the
 // topics, keyed by profile name.
 func (r *Registry) RerankAll(topics []Topic) map[string][]Topic {
-	out := make(map[string][]Topic, len(r.profiles))
+	r.mu.RLock()
+	profiles := make(map[string]*Profile, len(r.profiles))
 	for name, p := range r.profiles {
+		profiles[name] = p
+	}
+	r.mu.RUnlock()
+	out := make(map[string][]Topic, len(profiles))
+	for name, p := range profiles {
 		out[name] = Rerank(topics, p)
 	}
 	return out

@@ -133,6 +133,7 @@ type Server struct {
 	prevIDs  rank.List
 	history  *history.History
 	watcher  *persona.Watcher
+	engine   *core.Engine
 }
 
 // New returns a server with an empty profile registry.
@@ -150,6 +151,27 @@ func (s *Server) Hub() *Hub { return s.hub }
 
 // Registry exposes the personalization registry.
 func (s *Server) Registry() *persona.Registry { return s.registry }
+
+// AttachEngine connects the engine to the server's /stats endpoint. The
+// engine is safe for concurrent use, so the server reads its counters
+// directly — no external serialization between the ingest goroutine, the
+// wall-clock ticker, and HTTP handlers is needed.
+func (s *Server) AttachEngine(e *core.Engine) {
+	s.mu.Lock()
+	s.engine = e
+	s.mu.Unlock()
+}
+
+// StatsView is the wire form of GET /stats.
+type StatsView struct {
+	DocsProcessed int64     `json:"docsProcessed"`
+	ActivePairs   int       `json:"activePairs"`
+	Shards        int       `json:"shards"`
+	Seeds         int       `json:"seeds"`
+	LastEventTime time.Time `json:"lastEventTime"`
+	Clients       int       `json:"clients"`
+	Profiles      int       `json:"profiles"`
+}
 
 // toViews converts topics to wire form.
 func toViews(topics []persona.Topic) []TopicView {
@@ -233,7 +255,29 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/profiles", s.handleProfiles)
 	mux.HandleFunc("/history", s.handleHistory)
 	mux.HandleFunc("/trajectory", s.handleTrajectory)
+	mux.HandleFunc("/stats", s.handleStats)
 	return mux
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	e := s.engine
+	s.mu.Unlock()
+	view := StatsView{
+		Clients:  s.hub.ClientCount(),
+		Profiles: s.registry.Len(),
+	}
+	if e != nil {
+		view.DocsProcessed = e.DocsProcessed()
+		view.ActivePairs = e.ActivePairs()
+		view.Shards = e.Shards()
+		view.Seeds = len(e.Seeds())
+		view.LastEventTime = e.LastEventTime()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(view); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
 }
 
 func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {

@@ -100,6 +100,21 @@ func NewDetector(cfg Config) *Detector {
 // Config returns the effective (defaulted) configuration.
 func (d *Detector) Config() Config { return d.cfg }
 
+// BeginTick advances the detector's evaluation-round clock to t without
+// evaluating anything. Sharded engines call it on every shard detector at
+// the start of a tick so that a shard whose first pair arrives late still
+// agrees with a single global detector on which round it is — the round
+// number decides whether a first-seen pair gets a silent warm-up (round
+// one) or is scored against an implicit previous correlation of zero.
+// Evaluate and EvaluateCorrelation advance the clock themselves, so callers
+// evaluating through a single detector never need BeginTick.
+func (d *Detector) BeginTick(t time.Time) {
+	if t.After(d.curTick) {
+		d.curTick = t
+		d.tickCount++
+	}
+}
+
 // Evaluate scores pair k at tick time t given the windowed counts: nab
 // documents with both tags, na/nb with each tag, n total. It updates the
 // pair's predictor with the measured correlation and returns the tick's

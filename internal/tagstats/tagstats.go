@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync"
 	"time"
 
 	"enblogue/internal/window"
@@ -156,6 +157,22 @@ func (tr *Tracker) DocCount() float64 {
 	return tr.docs.Value()
 }
 
+// Counts returns a snapshot of every tracked tag's windowed count, advanced
+// to the tracker clock. A lookup of an untracked tag in the returned map
+// yields 0, matching Count. The sharded engine takes one snapshot per
+// evaluation tick so its parallel shard workers read tag counts without
+// touching (and mutating) the tracker concurrently.
+func (tr *Tracker) Counts() map[string]float64 {
+	out := make(map[string]float64, len(tr.tags))
+	for tag, c := range tr.tags {
+		c.Observe(tr.now)
+		if v := c.Value(); v > 0 {
+			out[tag] = v
+		}
+	}
+	return out
+}
+
 // Popularity returns the sliding-window popularity of tag: the fraction of
 // windowed documents that carry it.
 func (tr *Tracker) Popularity(tag string) float64 {
@@ -260,11 +277,16 @@ func (tr *Tracker) Top(k int, crit Criterion, minCount float64) []TagStat {
 // SeedSelector periodically materialises the current seed tag set from a
 // Tracker. Reselecting on every document would be wasted work; the paper's
 // engine reselects at evaluation ticks.
+//
+// The selector is safe for concurrent use: Reselect swaps in a freshly
+// built seed set under an internal lock, and readers (IsSeed, Seeds, Func)
+// see either the old or the new set, never a partial one.
 type SeedSelector struct {
 	K         int
 	Criterion Criterion
 	MinCount  float64
 
+	mu      sync.RWMutex
 	current map[string]bool
 	ordered []string
 }
@@ -281,20 +303,42 @@ func NewSeedSelector(k int, crit Criterion, minCount float64) *SeedSelector {
 }
 
 // Reselect recomputes the seed set from tr and returns it (ordered by
-// descending score).
+// descending score). The returned slice is never mutated afterwards.
 func (s *SeedSelector) Reselect(tr *Tracker) []string {
 	top := tr.Top(s.K, s.Criterion, s.MinCount)
-	s.current = make(map[string]bool, len(top))
-	s.ordered = s.ordered[:0]
+	current := make(map[string]bool, len(top))
+	ordered := make([]string, 0, len(top))
 	for _, st := range top {
-		s.current[st.Tag] = true
-		s.ordered = append(s.ordered, st.Tag)
+		current[st.Tag] = true
+		ordered = append(ordered, st.Tag)
 	}
-	return s.ordered
+	s.mu.Lock()
+	s.current = current
+	s.ordered = ordered
+	s.mu.Unlock()
+	return ordered
 }
 
 // IsSeed reports whether tag is in the current seed set.
-func (s *SeedSelector) IsSeed(tag string) bool { return s.current[tag] }
+func (s *SeedSelector) IsSeed(tag string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.current[tag]
+}
 
-// Seeds returns the current ordered seed set.
-func (s *SeedSelector) Seeds() []string { return s.ordered }
+// Func returns a predicate closed over the current seed set snapshot. Hot
+// paths that test many tags per document (pair candidate generation) should
+// grab one Func per document instead of paying a lock per IsSeed call.
+func (s *SeedSelector) Func() func(string) bool {
+	s.mu.RLock()
+	m := s.current
+	s.mu.RUnlock()
+	return func(tag string) bool { return m[tag] }
+}
+
+// Seeds returns the current ordered seed set. Callers must not mutate it.
+func (s *SeedSelector) Seeds() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ordered
+}
