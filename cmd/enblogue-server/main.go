@@ -1,39 +1,52 @@
-// Command enblogue-server runs the live demo: a simulated Web 2.0 stream is
-// replayed in time lapse through the engine while rankings are pushed to
-// browsers over Server-Sent Events — the paper's APE-based front-end on
-// stdlib HTTP.
+// Command enblogue-server runs the live demo: a simulated Web 2.0 stream
+// is replayed in time lapse through the public engine while rankings are
+// pushed to browsers over Server-Sent Events — the paper's APE-based
+// front-end on stdlib HTTP, behind the versioned /v1 wire contract.
 //
 // Usage:
 //
 //	enblogue-server -addr :8080 -speedup 600
 //
 // then open http://localhost:8080/ (the page updates without polling).
-// Register a personalization profile with:
+// Register a personalization profile and stream its private view with:
 //
-//	curl -X POST localhost:8080/profile -d '{"name":"me","keywords":["volcano"]}'
+//	curl -X POST localhost:8080/v1/profiles -d '{"name":"me","keywords":["volcano"]}'
+//	curl -N localhost:8080/v1/stream?profile=me
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests drain, the
+// replay stops, and every subscription channel closes.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"enblogue/internal/core"
+	"enblogue"
 	"enblogue/internal/history"
 	"enblogue/internal/server"
 	"enblogue/internal/source"
-	"enblogue/internal/stream"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	speedup := flag.Float64("speedup", 600, "time-lapse factor (event time / wall time)")
 	shards := flag.Int("shards", 0, "engine shards (0: one per CPU; rankings are shard-count independent)")
+	historyTicks := flag.Int("history", 10000, "ranking history length in ticks")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The demo stream merges the tweet and feed wrappers over the same
+	// scripted scenario; data generation is the only internal dependency
+	// left here — the engine and its wiring are all public API.
 	span := 48 * time.Hour
 	docs := source.Merge(
 		source.GenerateTweets(source.TweetConfig{
@@ -44,31 +57,32 @@ func main() {
 			Seed: 8, Span: span, Happenings: source.SIGMODAthensScenario(span),
 		}),
 	)
+	items := make(enblogue.Items, len(docs))
+	for i := range docs {
+		items[i] = docs[i].Item()
+	}
+
+	engine := enblogue.New(
+		enblogue.WithWindow(24, time.Hour),
+		enblogue.WithTickEvery(time.Hour),
+		enblogue.WithSeedCount(30),
+		enblogue.WithMinCooccurrence(3),
+		enblogue.WithTopK(10),
+		enblogue.WithUpOnly(),
+		enblogue.WithShards(*shards),
+	)
 
 	srv := server.New()
-	srv.AttachHistory(history.New(10000))
-	engine := core.New(core.Config{
-		WindowBuckets:    24,
-		WindowResolution: time.Hour,
-		TickEvery:        time.Hour,
-		SeedCount:        30,
-		MinCooccurrence:  3,
-		TopK:             10,
-		UpOnly:           true,
-		Shards:           *shards,
-		OnRanking:        srv.PublishRanking,
-	})
-	srv.AttachEngine(engine)
+	srv.AttachHistory(history.New(*historyTicks))
+	srv.Follow(engine) // broker subscription feeds SSE, history, personas
 
 	go func() {
-		replayer := &source.Replayer{Docs: docs, Speedup: *speedup, MaxSleep: 2 * time.Second}
-		if err := replayer.Run(context.Background(), func(it *stream.Item) {
-			engine.Consume(it)
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "enblogue-server: replay: %v\n", err)
+		if err := engine.Run(ctx, enblogue.Replay(items, *speedup)); err != nil {
+			if !errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "enblogue-server: replay: %v\n", err)
+			}
 			return
 		}
-		engine.Flush()
 		fmt.Println("enblogue-server: replay finished; final ranking stays live")
 	}()
 
@@ -83,9 +97,16 @@ func main() {
 		if tickWall < time.Second {
 			tickWall = time.Second
 		}
+		ticker := time.NewTicker(tickWall)
+		defer ticker.Stop()
 		lastAt := time.Time{}
 		lastWall := time.Now()
-		for range time.Tick(tickWall) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ticker.C:
+			}
 			cur := engine.CurrentRanking().At
 			if !cur.Equal(lastAt) {
 				lastAt, lastWall = cur, time.Now()
@@ -100,10 +121,30 @@ func main() {
 		}
 	}()
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	shutdownDone := make(chan struct{})
+	go func() {
+		defer close(shutdownDone)
+		<-ctx.Done()
+		fmt.Println("\nenblogue-server: shutting down")
+		// Close the broker and the server context first: per-profile SSE
+		// handlers end when their subscription channels close, broadcast
+		// SSE handlers end on the server context — so Shutdown can drain
+		// the remaining requests instead of timing out on parked streams.
+		srv.Close()
+		engine.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx) // drain in-flight requests
+	}()
+
 	fmt.Printf("enblogue-server: %d docs looping at %.0fx over %d shards; listening on %s\n",
-		len(docs), *speedup, engine.Shards(), *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		len(items), *speedup, engine.Shards(), *addr)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "enblogue-server: %v\n", err)
 		os.Exit(1)
 	}
+	// ListenAndServe returns the instant Shutdown closes the listener;
+	// wait for the drain to actually finish before exiting.
+	<-shutdownDone
 }

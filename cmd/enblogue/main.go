@@ -1,6 +1,7 @@
-// Command enblogue replays a JSONL dataset (or a built-in scenario) through
-// the emergent-topic engine and prints each evaluation tick's top-k — the
-// command-line twin of the paper's time-lapse demo.
+// Command enblogue replays a JSONL dataset (or a built-in scenario)
+// through the emergent-topic engine and prints each evaluation tick's
+// top-k — the command-line twin of the paper's time-lapse demo, written
+// entirely against the public enblogue package.
 //
 // Usage:
 //
@@ -9,15 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/pairs"
-	"enblogue/internal/predict"
-	"enblogue/internal/source"
+	"enblogue"
 )
 
 func main() {
@@ -35,16 +34,16 @@ func main() {
 	quiet := flag.Bool("quiet", false, "print only the final ranking")
 	flag.Parse()
 
-	m, err := pairs.ParseMeasure(*measure)
+	m, err := enblogue.ParseMeasure(*measure)
 	if err != nil {
 		fatal(err)
 	}
-	p, err := predict.ParseKind(*predictor)
+	p, err := enblogue.ParsePredictor(*predictor)
 	if err != nil {
 		fatal(err)
 	}
 
-	var docs []source.Document
+	var items enblogue.Items
 	switch {
 	case *in != "":
 		f, err := os.Open(*in)
@@ -52,7 +51,7 @@ func main() {
 			fatal(err)
 		}
 		var skipped int
-		docs, skipped, err = source.ReadJSONL(f, false)
+		items, skipped, err = enblogue.ReadItemsJSONL(f)
 		f.Close()
 		if err != nil {
 			fatal(err)
@@ -60,43 +59,52 @@ func main() {
 		if skipped > 0 {
 			fmt.Fprintf(os.Stderr, "enblogue: skipped %d malformed lines\n", skipped)
 		}
-		source.SortDocs(docs)
 	case *scenario == "tweets":
-		span := 48 * time.Hour
-		docs = source.GenerateTweets(source.TweetConfig{
-			Seed: 7, Span: span, TweetsPerMinute: 20,
-			Happenings: source.SIGMODAthensScenario(span),
-		})
+		items, _ = enblogue.TweetScenario(48 * time.Hour)
 	case *scenario == "archive":
-		start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
-		docs = source.GenerateArchive(source.ArchiveConfig{
-			Seed: 42, Start: start, Days: 25, DocsPerDay: 240,
-			Events: source.HistoricEvents(start),
-		})
+		items, _ = enblogue.ArchiveScenario(time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC), 25)
 	default:
 		fatal(fmt.Errorf("unknown scenario %q", *scenario))
 	}
 
-	cfg := core.Config{
-		WindowBuckets:    *windowH,
-		WindowResolution: time.Hour,
-		TickEvery:        time.Duration(*tickH) * time.Hour,
-		SeedCount:        *seeds,
-		Measure:          m,
-		Predictor:        p,
-		HalfLife:         time.Duration(*halfLifeH) * time.Hour,
-		TopK:             *topk,
-		UpOnly:           *upOnly,
-		Shards:           *shards,
+	opts := []enblogue.Option{
+		enblogue.WithWindow(*windowH, time.Hour),
+		enblogue.WithTickEvery(time.Duration(*tickH) * time.Hour),
+		enblogue.WithSeedCount(*seeds),
+		enblogue.WithMeasure(m),
+		enblogue.WithPredictor(p),
+		enblogue.WithHalfLife(time.Duration(*halfLifeH) * time.Hour),
+		enblogue.WithTopK(*topk),
+		enblogue.WithShards(*shards),
 	}
+	if *upOnly {
+		opts = append(opts, enblogue.WithUpOnly())
+	}
+	engine := enblogue.New(opts...)
+
+	// Per-tick progress arrives over a subscription rather than a
+	// callback; the consumer goroutine drains in tick order.
+	done := make(chan struct{})
 	if !*quiet {
-		cfg.OnRanking = printRanking
+		sub := engine.Subscribe(context.Background(), enblogue.SubBuffer(1<<15))
+		go func() {
+			defer close(done)
+			for r := range sub.Rankings() {
+				printRanking(r)
+			}
+			if n := sub.Dropped(); n > 0 {
+				fmt.Printf("(%d ticks outran the printer and were not shown)\n", n)
+			}
+		}()
+	} else {
+		close(done)
 	}
-	engine := core.New(cfg)
-	for i := range docs {
-		engine.Consume(docs[i].Item())
+
+	if err := engine.Run(context.Background(), items); err != nil {
+		fatal(err)
 	}
-	engine.Flush()
+	engine.Close()
+	<-done
 
 	r := engine.CurrentRanking()
 	fmt.Printf("\nfinal ranking (%s, %d docs, %d active pairs):\n",
@@ -108,7 +116,7 @@ func main() {
 }
 
 // printRanking logs non-empty ticks compactly.
-func printRanking(r core.Ranking) {
+func printRanking(r enblogue.Ranking) {
 	if len(r.Topics) == 0 {
 		return
 	}

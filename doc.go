@@ -1,6 +1,7 @@
 // Package enblogue is a from-scratch Go reproduction of "EnBlogue —
 // Emergent Topic Detection in Web 2.0 Streams" (Alvanaki, Michel,
-// Ramamritham, Weikum; SIGMOD 2011).
+// Ramamritham, Weikum; SIGMOD 2011), grown into a concurrent,
+// subscription-oriented service library.
 //
 // EnBlogue monitors streams of tagged documents (news, blogs, tweets) and
 // detects emergent topics: tag pairs whose correlation suddenly shifts in a
@@ -10,17 +11,47 @@
 // prediction error with an exponentially decaying score maximum (half-life
 // ≈ 2 days).
 //
-// The implementation lives under internal/: the core engine in
-// internal/core, one package per substrate (stream DAG, windows, sketches,
-// tag statistics, pair correlation, prediction, shift scoring, ranking,
-// entity tagging, personalization, burst-detection baseline, data sources,
-// metrics, SSE server), runnable binaries under cmd/, and runnable
-// examples under examples/. The benchmarks in bench_test.go regenerate
-// every evaluation artifact of the paper; see DESIGN.md.
+// This package is the public API. An Engine is constructed with functional
+// options, fed a stream of Items, and observed through subscriptions —
+// the paper's "users register continuous keyword queries" model: every
+// subscriber may carry its own persona Profile and top-k, so one shared
+// ingest pipeline serves many differently-ranked views.
+//
+//	engine := enblogue.New(
+//		enblogue.WithShards(8),
+//		enblogue.WithMeasure(enblogue.Jaccard),
+//		enblogue.WithTopK(10),
+//	)
+//	sub := engine.Subscribe(ctx,
+//		enblogue.SubProfile(&enblogue.Profile{Keywords: []string{"volcano"}}))
+//	go func() {
+//		for r := range sub.Rankings() {
+//			fmt.Println(r.At, r.IDs())
+//		}
+//	}()
+//	items, _ := enblogue.TweetScenario(48 * time.Hour)
+//	err := engine.Run(ctx, items) // Consume each item, then Flush
+//	engine.Close()
+//
+// Delivery is push-based and non-blocking: each subscription owns a
+// bounded channel with drop-oldest semantics and a drop counter, so a slow
+// consumer always converges on the newest ranking and can never stall the
+// engine or its sibling subscribers.
+//
+// The implementation lives under internal/: the core engine and
+// subscription broker in internal/core, one package per substrate (stream
+// DAG, windows, sketches, tag statistics, pair correlation, prediction,
+// shift scoring, ranking, entity tagging, personalization, burst-detection
+// baseline, data sources, metrics, versioned HTTP front-end), runnable
+// binaries under cmd/, and runnable examples under examples/ — all five
+// examples use only this public package. The benchmarks in bench_test.go
+// regenerate every evaluation artifact of the paper; see DESIGN.md.
 //
 // The engine core is sharded and concurrent: the pair space is partitioned
 // by hash across shards, ingest fans candidate pairs out to per-shard
 // locked trackers, and every evaluation tick scores all shards in parallel
 // before a deterministic top-k merge. Rankings are bit-identical for every
 // shard count, so sharding is purely a throughput knob; see DESIGN.md §3.
+// The subscription broker and the versioned /v1 wire contract are
+// documented in DESIGN.md §5.
 package enblogue

@@ -1,0 +1,198 @@
+package enblogue
+
+// This file is the public engine surface. The package documentation lives
+// in doc.go. Types are aliases for their internal definitions, so values
+// flow between the public API and in-module code with no conversion, while
+// everything under internal/ remains free to change.
+
+import (
+	"context"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/entity"
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+	"enblogue/internal/predict"
+	"enblogue/internal/shift"
+	"enblogue/internal/stream"
+)
+
+// Core wire types, re-exported.
+type (
+	// Item is the stream tuple of the paper: (timestamp, docId, set of
+	// tags, set of entities), plus optional raw text for entity tagging.
+	Item = stream.Item
+	// Key is the canonical identifier of a tag pair (Tag1 <= Tag2).
+	Key = pairs.Key
+	// Topic is one scored emergent topic: the pair plus its shift-score
+	// diagnostics (correlation, prediction, error, co-occurrence).
+	Topic = shift.Topic
+	// Ranking is one evaluation tick's output: the top-k emergent topics.
+	Ranking = core.Ranking
+	// Profile is a user's standing preferences: continuous keyword
+	// queries, categories, boost, and the exclusive filter.
+	Profile = persona.Profile
+	// Subscription is a live per-subscriber ranking feed; see
+	// Engine.Subscribe.
+	Subscription = core.Subscription
+	// SubOption configures one subscription.
+	SubOption = core.SubOption
+	// Measure selects the pair correlation measure.
+	Measure = pairs.Measure
+	// Predictor selects the correlation forecaster whose error is the
+	// shift signal.
+	Predictor = predict.Kind
+	// PredictorConfig tunes the selected predictor.
+	PredictorConfig = predict.Config
+	// Tagger annotates raw text with canonical entity names.
+	Tagger = entity.Tagger
+	// Source produces a stream of items; Run pushes each into emit.
+	Source = stream.Source
+	// SourceFunc adapts a function to the Source interface.
+	SourceFunc = stream.SourceFunc
+	// Items is an in-memory item slice that replays in order as a Source.
+	Items = stream.SliceSource
+)
+
+// Correlation measures.
+const (
+	Jaccard    = pairs.Jaccard
+	Dice       = pairs.Dice
+	Cosine     = pairs.Cosine
+	NPMI       = pairs.NPMI
+	Overlap    = pairs.Overlap
+	Confidence = pairs.Confidence
+)
+
+// Predictors.
+const (
+	PredictNaive         = predict.KindNaive
+	PredictMovingAverage = predict.KindMovingAverage
+	PredictEWMA          = predict.KindEWMA
+	PredictHolt          = predict.KindHolt
+	PredictOLS           = predict.KindOLS
+	PredictAR1           = predict.KindAR1
+	PredictSeasonal      = predict.KindSeasonal
+)
+
+// MakeKey returns the canonical key for tags a and b.
+func MakeKey(a, b string) Key { return pairs.MakeKey(a, b) }
+
+// ParseMeasure resolves a measure by name (jaccard, dice, cosine, npmi,
+// overlap, confidence).
+func ParseMeasure(name string) (Measure, error) { return pairs.ParseMeasure(name) }
+
+// ParsePredictor resolves a predictor by name (naive, ma, ewma, holt, ols,
+// ar1, seasonal).
+func ParsePredictor(name string) (Predictor, error) { return predict.ParseKind(name) }
+
+// KeywordQuery renders a topic tag set as the traditional keyword query
+// the paper proposes as the hand-off to downstream exploration.
+func KeywordQuery(tags []string) string { return core.KeywordQuery(tags) }
+
+// Subscription options, re-exported. See the core definitions for the
+// drop-oldest delivery contract.
+
+// SubBuffer sets the subscription's channel capacity (default 16).
+func SubBuffer(n int) SubOption { return core.SubBuffer(n) }
+
+// SubTopK trims every delivered ranking to its best k topics.
+func SubTopK(k int) SubOption { return core.SubTopK(k) }
+
+// SubProfile attaches a persona: the subscriber receives its personalized
+// re-ranking of every tick instead of the broadcast ranking.
+func SubProfile(p *Profile) SubOption { return core.SubProfile(p) }
+
+// Engine is the public emergent-topic engine. It consumes (timestamp,
+// docId, tags, entities) tuples and emits ranked emergent topics at every
+// evaluation tick; all methods are safe for concurrent use. Construct with
+// New.
+type Engine struct {
+	core *core.Engine
+}
+
+// New returns an engine configured by the given options. With no options
+// it uses the paper's defaults: Jaccard correlation, moving-average
+// prediction, 2-day half-life, hourly ticks over a 48-hour window, one
+// shard per available CPU.
+func New(opts ...Option) *Engine {
+	var cfg core.Config
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return &Engine{core: core.New(cfg)}
+}
+
+// Consume feeds one tuple through the engine, firing evaluation ticks as
+// event time passes tick boundaries. Safe for concurrent producers.
+func (e *Engine) Consume(it *Item) { e.core.Consume(it) }
+
+// Run drains a source into the engine and, when the source ends cleanly,
+// flushes a final evaluation tick at the last observed event time. It
+// returns the source's error (context cancellation included) without
+// flushing, leaving the last completed tick as the published ranking.
+func (e *Engine) Run(ctx context.Context, src Source) error {
+	if err := src.Run(ctx, e.core.Consume); err != nil {
+		return err
+	}
+	e.core.Flush()
+	return nil
+}
+
+// Flush runs a final evaluation tick at the last observed event time and
+// blocks until every published ranking has been delivered to subscribers
+// and callbacks.
+func (e *Engine) Flush() { e.core.Flush() }
+
+// Tick forces an evaluation at time t; see the engine core for the
+// monotonicity contract. Returns the resulting (or current) ranking.
+func (e *Engine) Tick(t time.Time) Ranking { return e.core.Tick(t) }
+
+// CurrentRanking returns a defensive copy of the most recent ranking.
+func (e *Engine) CurrentRanking() Ranking { return e.core.CurrentRanking() }
+
+// Subscribe registers a live ranking feed fed by non-blocking fan-out:
+// each tick's ranking — persona-reranked and top-k-trimmed per the options
+// — is delivered to the returned subscription's bounded channel, dropping
+// the oldest buffered frames for slow consumers (drops are counted).
+// Cancelling ctx closes the subscription.
+func (e *Engine) Subscribe(ctx context.Context, opts ...SubOption) *Subscription {
+	return e.core.Subscribe(ctx, opts...)
+}
+
+// Subscribers returns the number of live subscriptions.
+func (e *Engine) Subscribers() int { return e.core.Subscribers() }
+
+// RankingsDropped returns the total rankings discarded across all
+// subscriptions because consumers fell behind.
+func (e *Engine) RankingsDropped() int64 { return e.core.RankingsDropped() }
+
+// Close stops ranking delivery: it drains in-flight deliveries and closes
+// every subscription channel. Call Flush first if the final partial tick
+// should still reach subscribers.
+func (e *Engine) Close() { e.core.Close() }
+
+// Seeds returns a copy of the current seed tag set, best first.
+func (e *Engine) Seeds() []string { return e.core.Seeds() }
+
+// DocsProcessed returns the number of consumed documents.
+func (e *Engine) DocsProcessed() int64 { return e.core.DocsProcessed() }
+
+// ActivePairs returns the number of tracked candidate pairs.
+func (e *Engine) ActivePairs() int { return e.core.ActivePairs() }
+
+// Shards returns the number of engine shards.
+func (e *Engine) Shards() int { return e.core.Shards() }
+
+// LastEventTime returns the newest event timestamp consumed so far (zero
+// before the first document).
+func (e *Engine) LastEventTime() time.Time { return e.core.LastEventTime() }
+
+// ExpandTopic grows a detected pair into a tag set: the pair plus up to
+// maxExtra tags that currently co-occur with both members.
+func (e *Engine) ExpandTopic(k Key, maxExtra int) []string {
+	return e.core.ExpandTopic(k, maxExtra)
+}

@@ -1,7 +1,7 @@
 // Livetweets reproduces show case 2 ("Live Data"): a simulated Twitter
-// stream runs through the full push pipeline — wrapper, entity tagging,
-// engine — and the example prints the rank trajectory of the scripted
-// SIGMOD/Athens surge, the paper's conference stunt.
+// stream runs through the engine with entity tagging enabled, and the
+// example prints the rank trajectory of the scripted SIGMOD/Athens surge —
+// the paper's conference stunt — as observed through a subscription.
 //
 //	go run ./examples/livetweets
 package main
@@ -11,71 +11,59 @@ import (
 	"fmt"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/entity"
-	"enblogue/internal/pairs"
-	"enblogue/internal/source"
-	"enblogue/internal/stream"
+	"enblogue"
 )
 
 func main() {
 	span := 48 * time.Hour
-	cfg := source.TweetConfig{
-		Seed: 7, Span: span, TweetsPerMinute: 20,
-		Happenings: source.SIGMODAthensScenario(span),
-	}
-	docs := source.GenerateTweets(cfg)
-	var surge source.Event
-	for _, e := range cfg.Events() {
+	items, events := enblogue.TweetScenario(span)
+	var surge enblogue.ScenarioEvent
+	for _, e := range events {
 		if e.Name == "sigmod-athens" {
 			surge = e
 		}
 	}
-	target := surge.Pair()
+	target := surge.Pair
 	fmt.Printf("replaying %d tweets; #sigmod #athens surge begins %s\n\n",
-		len(docs), surge.Start.Format(time.RFC3339))
+		len(items), surge.Start.Format(time.RFC3339))
 
-	g, o := entity.Sample()
-	engine := core.New(core.Config{
-		WindowBuckets:    24,
-		WindowResolution: time.Hour,
-		SeedCount:        30,
-		SeedMinCount:     5,
-		MinCooccurrence:  3,
-		TopK:             10,
-		UpOnly:           true,
-		UseEntities:      true,
-		Tagger:           entity.NewTagger(g, o),
-		OnRanking: func(r core.Ranking) {
+	engine := enblogue.New(
+		enblogue.WithWindow(24, time.Hour),
+		enblogue.WithSeedCount(30),
+		enblogue.WithSeedMinCount(5),
+		enblogue.WithMinCooccurrence(3),
+		enblogue.WithTopK(10),
+		enblogue.WithUpOnly(),
+		enblogue.WithEntities(enblogue.SampleTagger()),
+	)
+
+	// Watch the stunt pair through a subscription: every tick is pushed,
+	// the consumer never polls.
+	sub := engine.Subscribe(context.Background(), enblogue.SubBuffer(256))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range sub.Rankings() {
 			for i, t := range r.Topics {
 				if t.Pair == target {
 					fmt.Printf("%s  %-16s rank %2d  score %.4f\n",
 						r.At.Format("Jan 02 15:04"), target, i+1, t.Score)
 				}
-				_ = i
 			}
-		},
-	})
+		}
+	}()
 
-	// Drive the engine through the push DAG, as the live system does:
-	// source → dedup → engine sink.
-	runner := stream.NewRunner(&source.Replayer{Docs: docs})
-	runner.Add(&stream.Plan{
-		Name: "live",
-		Stages: []stream.Stage{
-			stream.Shared("dedup", func() stream.Operator { return stream.NewDedup(1 << 16) }),
-		},
-		Sink: engine,
-	})
-	if err := runner.Run(context.Background()); err != nil {
+	if err := engine.Run(context.Background(), items); err != nil {
 		panic(err)
 	}
+	engine.Close()
+	<-done
 
 	r := engine.CurrentRanking()
 	fmt.Println("\nfinal top-10:")
 	for i, t := range r.Topics {
 		marker := ""
-		if t.Pair == pairs.MakeKey("sigmod", "athens") {
+		if t.Pair == enblogue.MakeKey("sigmod", "athens") {
 			marker = "   <-- the conference stunt"
 		}
 		fmt.Printf("  %2d. %-28s score=%.4f%s\n", i+1, t.Pair, t.Score, marker)

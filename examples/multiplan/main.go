@@ -1,80 +1,61 @@
-// Multiplan demonstrates the engine architecture's headline efficiency
-// feature: "The system allows executing multiple query plans in parallel,
-// where overlapping parts ... are shared for efficiency. It hence allows us
-// to compare emergent topic rankings obtained from different parameter
-// settings in real-time."
+// Multiplan demonstrates the paper's headline efficiency feature through
+// the public API: "The system allows executing multiple query plans in
+// parallel ... It hence allows us to compare emergent topic rankings
+// obtained from different parameter settings in real-time."
 //
 // Four engines — Jaccard vs cosine correlation, set-overlap vs
-// distribution similarity, and a no-damping variant — consume one shared
-// stream through a single runner and their final rankings are printed side
-// by side.
+// distribution similarity, and a short-half-life variant — consume one
+// shared pass over the same archive and their final rankings are printed
+// side by side.
 //
 //	go run ./examples/multiplan
 package main
 
 import (
-	"context"
 	"fmt"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/pairs"
-	"enblogue/internal/source"
-	"enblogue/internal/stream"
+	"enblogue"
 )
 
 func main() {
 	start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
-	events := source.HistoricEvents(start)
-	docs := source.GenerateArchive(source.ArchiveConfig{
-		Seed: 42, Start: start, Days: 25, DocsPerDay: 240, Events: events,
-	})
+	items, _ := enblogue.ArchiveScenario(start, 25)
 
-	base := core.Config{
-		WindowBuckets:    48,
-		WindowResolution: time.Hour,
-		TickEvery:        2 * time.Hour,
-		SeedCount:        40,
-		MinCooccurrence:  3,
-		TopK:             5,
-		UpOnly:           true,
+	base := []enblogue.Option{
+		enblogue.WithWindow(48, time.Hour),
+		enblogue.WithTickEvery(2 * time.Hour),
+		enblogue.WithSeedCount(40),
+		enblogue.WithMinCooccurrence(3),
+		enblogue.WithTopK(5),
+		enblogue.WithUpOnly(),
 	}
 	variants := []struct {
-		name   string
-		mutate func(*core.Config)
+		name  string
+		extra []enblogue.Option
 	}{
-		{"jaccard (paper default)", func(c *core.Config) {}},
-		{"cosine", func(c *core.Config) { c.Measure = pairs.Cosine }},
-		{"distribution (rel. entropy)", func(c *core.Config) { c.DistributionMode = true }},
-		{"short half-life (12h)", func(c *core.Config) { c.HalfLife = 12 * time.Hour }},
+		{"jaccard (paper default)", nil},
+		{"cosine", []enblogue.Option{enblogue.WithMeasure(enblogue.Cosine)}},
+		{"distribution (rel. entropy)", []enblogue.Option{enblogue.WithDistributionMode()}},
+		{"short half-life (12h)", []enblogue.Option{enblogue.WithHalfLife(12 * time.Hour)}},
 	}
 
-	items := make(stream.SliceSource, len(docs))
-	for i := range docs {
-		items[i] = docs[i].Item()
-	}
-	runner := stream.NewRunner(items)
-	engines := make([]*core.Engine, len(variants))
+	engines := make([]*enblogue.Engine, len(variants))
 	for i, v := range variants {
-		cfg := base
-		v.mutate(&cfg)
-		engines[i] = core.New(cfg)
-		runner.Add(&stream.Plan{
-			Name: v.name,
-			// All plans share the same upstream counter stage: one pass
-			// over the source feeds every engine.
-			Stages: []stream.Stage{
-				stream.Shared("count", func() stream.Operator { return &stream.Counter{} }),
-			},
-			Sink: engines[i],
-		})
+		engines[i] = enblogue.New(append(append([]enblogue.Option{}, base...), v.extra...)...)
 	}
-	if err := runner.Run(context.Background()); err != nil {
-		panic(err)
+
+	// One pass over the shared source feeds every engine — the multi-plan
+	// sharing pattern, with each engine a differently-parameterised plan.
+	for _, it := range items {
+		for _, e := range engines {
+			e.Consume(it)
+		}
 	}
-	built, shared := runner.Stats()
-	fmt.Printf("replayed %d docs through %d plans (%d operator instances built, %d shared)\n\n",
-		len(docs), len(variants), built, shared)
+	for _, e := range engines {
+		e.Flush()
+	}
+	fmt.Printf("replayed %d docs once through %d engine variants\n\n", len(items), len(variants))
 
 	for i, v := range variants {
 		r := engines[i].CurrentRanking()
@@ -82,7 +63,7 @@ func main() {
 		for j, t := range r.Topics {
 			set := engines[i].ExpandTopic(t.Pair, 1)
 			fmt.Printf("  %d. %-28s score=%.4f  query: %s\n",
-				j+1, t.Pair, t.Score, core.KeywordQuery(set))
+				j+1, t.Pair, t.Score, enblogue.KeywordQuery(set))
 		}
 		fmt.Println()
 	}

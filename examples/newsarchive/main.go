@@ -1,62 +1,64 @@
 // Newsarchive reproduces show case 1 ("Revisiting Historic Events"): a
 // synthetic 25-day news archive with three injected events — a hurricane,
-// an election recount, and a World Cup upset — is replayed in time lapse,
-// and the example reports when each event surfaced in the top-k.
+// an election recount, and a World Cup upset — is replayed through the
+// engine, and the example reports when each event surfaced in the top-k.
 //
 //	go run ./examples/newsarchive
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/pairs"
-	"enblogue/internal/source"
+	"enblogue"
 )
 
 func main() {
 	start := time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC)
-	events := source.HistoricEvents(start)
+	items, events := enblogue.ArchiveScenario(start, 25)
 	fmt.Println("generating 25-day archive with injected events:")
 	for _, e := range events {
-		fmt.Printf("  %-20s %-25s starts %s\n", e.Name, e.Pair(), e.Start.Format("Jan 02"))
+		fmt.Printf("  %-20s %-25s starts %s\n", e.Name, e.Pair, e.Start.Format("Jan 02"))
 	}
-	docs := source.GenerateArchive(source.ArchiveConfig{
-		Seed: 42, Start: start, Days: 25, DocsPerDay: 240, Events: events,
-	})
-	fmt.Printf("archive: %d documents\n\n", len(docs))
+	fmt.Printf("archive: %d documents\n\n", len(items))
 
-	truth := source.TruthPairs(events)
-	firstSeen := map[pairs.Key]time.Time{}
-	engine := core.New(core.Config{
-		WindowBuckets:    48,
-		WindowResolution: time.Hour,
-		TickEvery:        2 * time.Hour,
-		SeedCount:        40,
-		MinCooccurrence:  3,
-		TopK:             10,
-		UpOnly:           true,
-		OnRanking: func(r core.Ranking) {
-			for i, t := range r.Topics {
-				if truth[t.Pair] {
-					if _, ok := firstSeen[t.Pair]; !ok {
-						firstSeen[t.Pair] = r.At
-						fmt.Printf("%s  detected %-25s at rank %d (score %.3f)\n",
-							r.At.Format("Jan 02 15:04"), t.Pair, i+1, t.Score)
-					}
+	truth := map[enblogue.Key]bool{}
+	for _, e := range events {
+		truth[e.Pair] = true
+	}
+
+	engine := enblogue.New(
+		enblogue.WithWindow(48, time.Hour),
+		enblogue.WithTickEvery(2*time.Hour),
+		enblogue.WithSeedCount(40),
+		enblogue.WithMinCooccurrence(3),
+		enblogue.WithTopK(10),
+		enblogue.WithUpOnly(),
+	)
+	sub := engine.Subscribe(context.Background(), enblogue.SubBuffer(512))
+
+	if err := engine.Run(context.Background(), items); err != nil {
+		panic(err)
+	}
+	engine.Close()
+
+	firstSeen := map[enblogue.Key]time.Time{}
+	for r := range sub.Rankings() {
+		for i, t := range r.Topics {
+			if truth[t.Pair] {
+				if _, ok := firstSeen[t.Pair]; !ok {
+					firstSeen[t.Pair] = r.At
+					fmt.Printf("%s  detected %-25s at rank %d (score %.3f)\n",
+						r.At.Format("Jan 02 15:04"), t.Pair, i+1, t.Score)
 				}
 			}
-		},
-	})
-	for i := range docs {
-		engine.Consume(docs[i].Item())
+		}
 	}
-	engine.Flush()
 
 	fmt.Println("\ndetection latencies:")
 	for _, e := range events {
-		if at, ok := firstSeen[e.Pair()]; ok {
+		if at, ok := firstSeen[e.Pair]; ok {
 			fmt.Printf("  %-20s %s after event start\n", e.Name, at.Sub(e.Start))
 		} else {
 			fmt.Printf("  %-20s NOT DETECTED\n", e.Name)

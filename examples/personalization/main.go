@@ -1,80 +1,84 @@
-// Personalization reproduces show case 3: the same emergent-topic ranking
-// is viewed by three users — one neutral, one database researcher with a
-// continuous keyword query, one traveller with an exclusive interest filter
-// — and each sees "completely different or just differently ordered
-// emergent topics".
+// Personalization reproduces show case 3 with the subscription broker: the
+// same shared ingest pipeline is observed by three subscribers — one
+// neutral, one database researcher with a continuous keyword query, one
+// traveller with an exclusive interest filter — and each sees "completely
+// different or just differently ordered emergent topics".
 //
 //	go run ./examples/personalization
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/persona"
-	"enblogue/internal/source"
+	"enblogue"
 )
 
 func main() {
 	span := 48 * time.Hour
-	docs := source.GenerateTweets(source.TweetConfig{
-		Seed: 7, Span: span, TweetsPerMinute: 20,
-		Happenings: source.SIGMODAthensScenario(span),
-	})
+	items, _ := enblogue.TweetScenario(span)
 
-	// Capture the ranking at the surge's peak rather than stream end,
+	engine := enblogue.New(
+		enblogue.WithWindow(24, time.Hour),
+		enblogue.WithSeedCount(30),
+		enblogue.WithSeedMinCount(5),
+		enblogue.WithMinCooccurrence(3),
+		enblogue.WithTopK(10),
+		enblogue.WithUpOnly(),
+	)
+
+	// One subscription per user, each with its own standing preferences:
+	// the broker re-ranks every tick per subscriber, so the users never
+	// see each other's views.
+	ctx := context.Background()
+	users := []struct {
+		name    string
+		profile *enblogue.Profile
+	}{
+		{"neutral", nil},
+		{"db-researcher", &enblogue.Profile{
+			Name:     "db-researcher",
+			Keywords: []string{"sigmod", "athens"},
+			Boost:    5,
+		}},
+		{"traveller", &enblogue.Profile{
+			Name:      "traveller",
+			Keywords:  []string{"volcano", "air-traffic", "flight"},
+			Exclusive: true, // drop everything off-interest
+		}},
+	}
+	subs := make([]*enblogue.Subscription, len(users))
+	for i, u := range users {
+		subs[i] = engine.Subscribe(ctx,
+			enblogue.SubProfile(u.profile), enblogue.SubBuffer(128))
+	}
+
+	if err := engine.Run(ctx, items); err != nil {
+		panic(err)
+	}
+	engine.Close()
+
+	// Capture each user's view at the surge's peak rather than stream end,
 	// where the demo's topics are hottest.
-	target := docs[0].Time.Add(span/2 + span/8)
-	var ranking core.Ranking
-	engine := core.New(core.Config{
-		WindowBuckets:    24,
-		WindowResolution: time.Hour,
-		SeedCount:        30,
-		SeedMinCount:     5,
-		MinCooccurrence:  3,
-		TopK:             10,
-		UpOnly:           true,
-		OnRanking: func(r core.Ranking) {
+	target := items[0].Time.Add(span/2 + span/8)
+	for i, u := range users {
+		var view enblogue.Ranking
+		for r := range subs[i].Rankings() {
 			if !r.At.After(target) {
-				ranking = r
+				view = r
 			}
-		},
-	})
-	for i := range docs {
-		engine.Consume(docs[i].Item())
-	}
-	engine.Flush()
-
-	var topics []persona.Topic
-	for _, t := range ranking.Topics {
-		topics = append(topics, persona.Topic{Pair: t.Pair, Score: t.Score})
-	}
-
-	registry := persona.NewRegistry()
-	registry.Set(&persona.Profile{Name: "neutral"})
-	registry.Set(&persona.Profile{
-		Name:     "db-researcher",
-		Keywords: []string{"sigmod", "athens"},
-		Boost:    5,
-	})
-	registry.Set(&persona.Profile{
-		Name:      "traveller",
-		Keywords:  []string{"volcano", "air-traffic", "flight"},
-		Exclusive: true, // drop everything off-interest
-	})
-
-	views := registry.RerankAll(topics)
-	for _, name := range registry.Names() {
-		fmt.Printf("%s sees:\n", name)
-		for i, t := range views[name] {
-			if i >= 5 {
+		}
+		fmt.Printf("%s sees:\n", u.name)
+		for j, t := range view.Topics {
+			if j >= 5 {
 				break
 			}
-			fmt.Printf("  %d. %-28s score=%.4f\n", i+1, t.Pair, t.Score)
+			fmt.Printf("  %d. %-28s score=%.4f\n", j+1, t.Pair, t.Score)
 		}
 		fmt.Println()
 	}
-	fmt.Println("users can change preferences at any time; re-running RerankAll")
-	fmt.Println("against the next tick's topics updates every view instantly.")
+	fmt.Println("users can change preferences at any time: close the old")
+	fmt.Println("subscription, subscribe with the new profile, and the next")
+	fmt.Println("tick is already re-ranked — no other subscriber notices.")
 }

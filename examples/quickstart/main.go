@@ -1,36 +1,50 @@
-// Quickstart: feed a small document stream into the enBlogue engine and
-// print the emergent topics it finds.
+// Quickstart: feed a small document stream into the enBlogue engine
+// through the public API and print the emergent topics it finds — both by
+// polling the current ranking and through a live subscription.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"enblogue/internal/core"
-	"enblogue/internal/stream"
+	"enblogue"
 )
 
 func main() {
 	// The engine consumes (timestamp, docId, tags) tuples and emits ranked
-	// emergent topics at every evaluation tick. Zero-value config fields
-	// take the paper's defaults (Jaccard, 2-day half-life, hourly ticks).
-	engine := core.New(core.Config{
-		WindowBuckets:    12,
-		WindowResolution: time.Hour,
-		SeedCount:        10,
-		SeedWarmupDocs:   20,
-		MinCooccurrence:  2,
-		TopK:             5,
-		UpOnly:           true,
-	})
+	// emergent topics at every evaluation tick. Unset options keep the
+	// paper's defaults (Jaccard, 2-day half-life, hourly ticks).
+	engine := enblogue.New(
+		enblogue.WithWindow(12, time.Hour),
+		enblogue.WithSeedCount(10),
+		enblogue.WithSeedWarmup(20),
+		enblogue.WithMinCooccurrence(2),
+		enblogue.WithTopK(5),
+		enblogue.WithUpOnly(),
+	)
+
+	// A subscription is the push-based view: every tick's ranking arrives
+	// on a channel, independent of other subscribers.
+	sub := engine.Subscribe(context.Background(), enblogue.SubBuffer(64))
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range sub.Rankings() {
+			if len(r.Topics) > 0 {
+				fmt.Printf("%s  top: %s (score %.3f)\n",
+					r.At.Format(time.Kitchen), r.Topics[0].Pair, r.Topics[0].Score)
+			}
+		}
+	}()
 
 	start := time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC)
 	id := 0
 	emit := func(hour int, minute int, tags ...string) {
 		id++
-		engine.Consume(&stream.Item{
+		engine.Consume(&enblogue.Item{
 			Time:  start.Add(time.Duration(hour)*time.Hour + time.Duration(minute)*time.Minute),
 			DocID: fmt.Sprintf("doc-%04d", id),
 			Tags:  tags,
@@ -56,9 +70,11 @@ func main() {
 		}
 	}
 	engine.Flush()
+	engine.Close()
+	<-done
 
 	r := engine.CurrentRanking()
-	fmt.Printf("emergent topics at %s:\n", r.At.Format(time.Kitchen))
+	fmt.Printf("\nemergent topics at %s:\n", r.At.Format(time.Kitchen))
 	for i, topic := range r.Topics {
 		fmt.Printf("  %d. %-28s score=%.3f (co-occurring in %.0f docs)\n",
 			i+1, topic.Pair, topic.Score, topic.Cooccurrence)

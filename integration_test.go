@@ -78,8 +78,10 @@ func TestFullPipelineEndToEnd(t *testing.T) {
 		UpOnly:           true,
 		UseEntities:      true,
 		Tagger:           entity.NewTagger(g, o),
-		OnRanking:        srv.PublishRanking,
 	})
+	// The server follows the engine's broker, as production wiring does.
+	defer srv.Close()
+	srv.Follow(engine)
 
 	sketchOp := sketch.NewOperator(0.01, 0.01, 10, 1<<16)
 	runner := stream.NewRunner(&source.Replayer{Docs: loaded})
@@ -108,6 +110,23 @@ func TestFullPipelineEndToEnd(t *testing.T) {
 	}
 	if c := sketchOp.TagCount("volcano"); c < 100 {
 		t.Errorf("sketch TagCount(volcano) = %d, want >= event volume", c)
+	}
+
+	// The Follow feed publishes asynchronously from the broker dispatcher;
+	// wait until the server has broadcast the stream's final tick before
+	// asserting on history and served state.
+	waitDeadline := time.Now().Add(5 * time.Second)
+	for {
+		var v server.RankingView
+		if b := srv.Hub().Last(); b != nil {
+			if err := json.Unmarshal(b, &v); err == nil && v.At.Equal(final.At) {
+				break
+			}
+		}
+		if time.Now().After(waitDeadline) {
+			t.Fatal("server never published the final tick")
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 
 	// 5. History answers range queries: the event pair tops the range

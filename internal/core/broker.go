@@ -1,0 +1,368 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+	"enblogue/internal/shift"
+)
+
+// This file implements the engine's subscription broker: the paper's
+// "users register continuous keyword queries" model done at the API layer.
+// One shared ingest pipeline computes a single broadcast ranking per tick;
+// the broker fans each tick out to any number of subscribers, each of which
+// may carry its own persona profile and top-k, so every subscriber sees a
+// differently-ranked view of the same underlying topics.
+//
+// Delivery runs on a dedicated dispatcher goroutine, never under the
+// engine's tick/bookkeeping lock, and is non-blocking toward subscribers:
+// every subscription has a bounded channel with drop-oldest semantics for
+// slow consumers, and drops are counted per subscription. A slow subscriber
+// therefore always observes the newest rankings and can never stall the
+// engine, the dispatcher, or its sibling subscribers.
+
+// subConfig holds per-subscription settings assembled from SubOptions.
+type subConfig struct {
+	buffer  int
+	topK    int
+	profile *persona.Profile
+}
+
+// SubOption configures one subscription.
+type SubOption func(*subConfig)
+
+// SubBuffer sets the subscription's channel capacity (default 16, minimum
+// 1). When the buffer is full, the oldest undelivered ranking is dropped to
+// make room for the newest.
+func SubBuffer(n int) SubOption {
+	return func(c *subConfig) { c.buffer = n }
+}
+
+// SubTopK trims every delivered ranking to its best k topics. Zero (the
+// default) delivers the engine's full ranking.
+func SubTopK(k int) SubOption {
+	return func(c *subConfig) { c.topK = k }
+}
+
+// SubProfile attaches a persona to the subscription: every delivered
+// ranking is re-ranked by preference-weighted score exactly as
+// persona.Rerank would, so this subscriber sees "completely different or
+// just differently ordered emergent topics". The profile is copied; later
+// mutations by the caller have no effect.
+func SubProfile(p *persona.Profile) SubOption {
+	return func(c *subConfig) {
+		if p == nil {
+			c.profile = nil
+			return
+		}
+		cp := *p
+		cp.Keywords = append([]string(nil), p.Keywords...)
+		cp.Categories = append([]string(nil), p.Categories...)
+		c.profile = &cp
+	}
+}
+
+// Subscription is one subscriber's live feed of rankings. Receive from
+// Rankings; the channel is closed when the subscription is closed (by
+// Close, context cancellation, or engine Close).
+type Subscription struct {
+	broker  *broker
+	id      uint64
+	cfg     subConfig
+	ch      chan Ranking
+	done    chan struct{}
+	once    sync.Once
+	dropped atomic.Int64
+}
+
+// Rankings returns the subscriber's channel. One ranking view is delivered
+// per evaluation tick, in tick order; when the consumer falls behind, the
+// oldest buffered views are discarded first (see Dropped).
+func (s *Subscription) Rankings() <-chan Ranking { return s.ch }
+
+// Dropped returns the number of rankings discarded because this subscriber
+// consumed too slowly.
+func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
+
+// Close detaches the subscription and closes its channel. Idempotent and
+// safe to call concurrently with delivery.
+func (s *Subscription) Close() {
+	s.once.Do(func() {
+		close(s.done)
+		s.broker.remove(s)
+	})
+}
+
+// view renders the broadcast ranking as this subscription sees it: a
+// defensive copy, persona-reranked through persona.Rerank itself when a
+// non-empty profile is attached (so broker views and registry views can
+// never diverge), trimmed to the subscription's top-k. The full
+// shift.Topic diagnostics are preserved through the rerank.
+func (s *Subscription) view(r Ranking) Ranking {
+	out := Ranking{At: r.At, Seeds: append([]string(nil), r.Seeds...)}
+	p := s.cfg.profile
+	if p == nil || p.Empty() {
+		out.Topics = append([]shift.Topic(nil), r.Topics...)
+	} else {
+		ptopics := make([]persona.Topic, len(r.Topics))
+		byPair := make(map[pairs.Key]shift.Topic, len(r.Topics))
+		for i, t := range r.Topics {
+			ptopics[i] = persona.Topic{Pair: t.Pair, Score: t.Score}
+			byPair[t.Pair] = t
+		}
+		reranked := persona.Rerank(ptopics, p)
+		topics := make([]shift.Topic, len(reranked))
+		for i, pt := range reranked {
+			t := byPair[pt.Pair]
+			t.Score = pt.Score
+			topics[i] = t
+		}
+		out.Topics = topics
+	}
+	if k := s.cfg.topK; k > 0 && len(out.Topics) > k {
+		out.Topics = out.Topics[:k]
+	}
+	return out
+}
+
+// broker fans published rankings out to subscriptions and the deprecated
+// OnRanking callback from its own dispatcher goroutine.
+type broker struct {
+	callback func(Ranking) // deprecated OnRanking shim; never called under qmu/mu
+
+	mu     sync.Mutex // guards subs, closed, nextID; held during channel sends
+	subs   map[uint64]*Subscription
+	closed bool
+	nextID uint64
+
+	// nsubs mirrors len(subs) so publish — which runs under the engine's
+	// tick lock — can check for listeners without contending on mu against
+	// an in-flight delivery.
+	nsubs        atomic.Int64
+	droppedTotal atomic.Int64
+
+	qmu     sync.Mutex
+	qcond   *sync.Cond
+	queue   []Ranking
+	pubSeq  uint64 // rankings enqueued
+	doneSeq uint64 // rankings fully dispatched
+	started bool
+	stopped bool
+}
+
+func newBroker(callback func(Ranking)) *broker {
+	b := &broker{callback: callback, subs: make(map[uint64]*Subscription)}
+	b.qcond = sync.NewCond(&b.qmu)
+	return b
+}
+
+// subscribe registers a new subscription. A nil context is treated as
+// context.Background(); otherwise cancelling the context closes the
+// subscription. Subscribing to a closed broker returns an
+// already-closed subscription.
+func (b *broker) subscribe(ctx context.Context, opts ...SubOption) *Subscription {
+	cfg := subConfig{buffer: 16}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	if cfg.buffer < 1 {
+		cfg.buffer = 1
+	}
+	s := &Subscription{
+		broker: b,
+		cfg:    cfg,
+		ch:     make(chan Ranking, cfg.buffer),
+		done:   make(chan struct{}),
+	}
+	b.mu.Lock()
+	b.nextID++
+	s.id = b.nextID
+	if b.closed {
+		b.mu.Unlock()
+		s.once.Do(func() { close(s.done) })
+		close(s.ch)
+		return s
+	}
+	b.subs[s.id] = s
+	b.nsubs.Store(int64(len(b.subs)))
+	b.mu.Unlock()
+	if ctx != nil && ctx.Done() != nil {
+		go func() {
+			select {
+			case <-ctx.Done():
+				s.Close()
+			case <-s.done:
+			}
+		}()
+	}
+	return s
+}
+
+// remove detaches a subscription and closes its channel. Channel sends
+// happen only under b.mu (see deliver), so closing under b.mu cannot race
+// a send.
+func (b *broker) remove(s *Subscription) {
+	b.mu.Lock()
+	if _, ok := b.subs[s.id]; ok {
+		delete(b.subs, s.id)
+		b.nsubs.Store(int64(len(b.subs)))
+		close(s.ch)
+	}
+	b.mu.Unlock()
+}
+
+// subscribers returns the number of live subscriptions.
+func (b *broker) subscribers() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// publish enqueues a ranking for dispatch. Called with the engine's tick
+// lock held, so it must never block on consumers: it only appends to the
+// dispatch queue (unbounded, but ticks are rare relative to any realistic
+// consumer) and wakes the dispatcher. When nobody is listening it is a
+// no-op.
+func (b *broker) publish(r Ranking) {
+	if b.callback == nil && b.nsubs.Load() == 0 {
+		return
+	}
+	b.qmu.Lock()
+	if b.stopped {
+		b.qmu.Unlock()
+		return
+	}
+	if !b.started {
+		b.started = true
+		go b.dispatch()
+	}
+	b.queue = append(b.queue, r)
+	b.pubSeq++
+	b.qcond.Broadcast()
+	b.qmu.Unlock()
+}
+
+// dispatch is the broker's delivery loop: it pops published rankings in
+// order, invokes the deprecated callback, and fans out to subscriptions.
+// It runs outside every engine lock, so callbacks and consumers may call
+// back into the engine freely.
+func (b *broker) dispatch() {
+	for {
+		b.qmu.Lock()
+		for len(b.queue) == 0 && !b.stopped {
+			b.qcond.Wait()
+		}
+		if len(b.queue) == 0 && b.stopped {
+			b.qmu.Unlock()
+			return
+		}
+		r := b.queue[0]
+		b.queue = b.queue[1:]
+		b.qmu.Unlock()
+
+		if b.callback != nil {
+			b.callback(r.Clone())
+		}
+		b.deliver(r)
+
+		b.qmu.Lock()
+		b.doneSeq++
+		b.qcond.Broadcast()
+		b.qmu.Unlock()
+	}
+}
+
+// deliver sends one ranking to every subscription, non-blocking with
+// drop-oldest: a full buffer sheds its oldest view so the subscriber
+// always converges on the newest state. The per-subscriber rerank runs
+// outside b.mu — only the non-blocking sends hold the lock (channel close
+// in remove/close is safe exactly because sends happen under b.mu), so a
+// large fan-out never blocks Subscribe/Close for the rerank's duration.
+func (b *broker) deliver(r Ranking) {
+	b.mu.Lock()
+	subs := make([]*Subscription, 0, len(b.subs))
+	for _, s := range b.subs {
+		subs = append(subs, s)
+	}
+	b.mu.Unlock()
+
+	views := make([]Ranking, len(subs))
+	for i, s := range subs {
+		views[i] = s.view(r)
+	}
+
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, s := range subs {
+		if _, ok := b.subs[s.id]; !ok {
+			continue // closed while the views were being built
+		}
+		v := views[i]
+		select {
+		case s.ch <- v:
+			continue
+		default:
+		}
+		// Buffer full: drop the oldest buffered view. The consumer may
+		// concurrently drain the channel, so both steps stay non-blocking.
+		select {
+		case <-s.ch:
+			s.dropped.Add(1)
+			b.droppedTotal.Add(1)
+		default:
+		}
+		select {
+		case s.ch <- v:
+		default:
+			s.dropped.Add(1)
+			b.droppedTotal.Add(1)
+		}
+	}
+}
+
+// wait blocks until every ranking published before the call has been fully
+// dispatched (callback returned, subscriptions fed). It must not be called
+// from within an OnRanking callback — the dispatcher cannot drain itself.
+func (b *broker) wait() {
+	b.qmu.Lock()
+	target := b.pubSeq
+	for b.doneSeq < target {
+		b.qcond.Wait()
+	}
+	b.qmu.Unlock()
+}
+
+// close drains the queue, stops the dispatcher, and closes every
+// subscription channel. Idempotent.
+func (b *broker) close() {
+	b.qmu.Lock()
+	b.stopped = true
+	b.qcond.Broadcast()
+	for b.doneSeq < b.pubSeq {
+		b.qcond.Wait()
+	}
+	b.qmu.Unlock()
+
+	b.mu.Lock()
+	b.closed = true
+	detached := make([]*Subscription, 0, len(b.subs))
+	for id, s := range b.subs {
+		delete(b.subs, id)
+		close(s.ch)
+		detached = append(detached, s)
+	}
+	b.nsubs.Store(0)
+	b.mu.Unlock()
+	// Fire each subscription's once outside b.mu: a concurrent
+	// Subscription.Close owns the once while waiting for b.mu in remove, so
+	// running it under the lock could deadlock. remove itself is safe — the
+	// map entry is already gone, so the channel is never closed twice.
+	for _, s := range detached {
+		s.once.Do(func() { close(s.done) })
+	}
+}

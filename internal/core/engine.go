@@ -18,6 +18,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
@@ -98,12 +99,19 @@ type Config struct {
 	// arrive with text but no entities.
 	Tagger *entity.Tagger
 
-	// OnRanking, when set, receives every tick's ranking. It is invoked on
-	// the goroutine that triggered the tick, with the engine's tick lock
-	// held: the callback must not call Consume, Tick, or Flush on the same
-	// engine (read-only methods — CurrentRanking, Seeds, LastEventTime,
-	// ActivePairs, DocsProcessed — are lock-free or separately locked and
-	// are fine).
+	// OnRanking, when set, receives every tick's ranking (a defensive
+	// copy), in tick order, on the engine's broker dispatcher goroutine —
+	// never under the tick/bookkeeping lock. The callback may therefore
+	// call back into the engine: Consume, Tick, Subscribe, and every read
+	// method are all safe. Only Flush and Close must not be called from
+	// inside the callback (they wait for the dispatcher to drain, and the
+	// dispatcher cannot drain itself). Delivery is asynchronous; Flush
+	// blocks until all callbacks for previously fired ticks have returned.
+	//
+	// Deprecated: OnRanking is a thin shim over the subscription broker
+	// and is kept for existing callers. New code should use
+	// Engine.Subscribe, which additionally supports per-subscriber persona
+	// re-ranking, top-k trimming, and bounded drop-oldest buffering.
 	OnRanking func(Ranking)
 }
 
@@ -151,6 +159,15 @@ type Ranking struct {
 	Topics []shift.Topic
 }
 
+// Clone returns a deep copy of the ranking: mutating the copy's Seeds or
+// Topics cannot corrupt the engine's published state or any other
+// subscriber's view.
+func (r Ranking) Clone() Ranking {
+	r.Seeds = append([]string(nil), r.Seeds...)
+	r.Topics = append([]shift.Topic(nil), r.Topics...)
+	return r
+}
+
 // IDs returns the ranked pair identifiers ("tag1+tag2"), best first.
 func (r Ranking) IDs() []string {
 	out := make([]string, len(r.Topics))
@@ -176,8 +193,7 @@ type Engine struct {
 	docs atomic.Int64
 	// lastSeenNano is the newest consumed event timestamp in unix nanos (0
 	// before the first document). Written under mu, read lock-free so
-	// LastEventTime is callable from anywhere — including OnRanking
-	// callbacks, which run with mu held.
+	// LastEventTime is callable from anywhere.
 	lastSeenNano atomic.Int64
 
 	// mu serialises stream bookkeeping (event clock, tick boundaries, tag
@@ -190,6 +206,11 @@ type Engine struct {
 
 	rankMu sync.Mutex
 	last   Ranking
+
+	// broker fans every tick's ranking out to subscribers (and the
+	// deprecated OnRanking callback) from a dispatcher goroutine, outside
+	// all engine locks.
+	broker *broker
 }
 
 // New returns an engine with the given configuration.
@@ -204,8 +225,9 @@ func New(cfg Config) *Engine {
 		})
 	}
 	return &Engine{
-		dist: dist,
-		cfg:  c,
+		dist:   dist,
+		cfg:    c,
+		broker: newBroker(c.OnRanking),
 		tags: tagstats.NewTracker(tagstats.Config{
 			Buckets:    c.WindowBuckets,
 			Resolution: c.WindowResolution,
@@ -240,12 +262,42 @@ func (e *Engine) ActivePairs() int { return e.pairsTr.ActivePairs() }
 // Shards returns the number of engine shards.
 func (e *Engine) Shards() int { return e.pairsTr.Shards() }
 
-// Seeds returns the current seed tag set, best first.
-func (e *Engine) Seeds() []string { return e.seeds.Seeds() }
+// Seeds returns a copy of the current seed tag set, best first.
+func (e *Engine) Seeds() []string {
+	return append([]string(nil), e.seeds.Seeds()...)
+}
+
+// Subscribe registers a live ranking feed: every evaluation tick's ranking
+// is delivered to the returned subscription's channel from the engine's
+// dispatcher goroutine, outside all engine locks, so consumers may call
+// back into the engine freely. Options attach a persona profile (the
+// subscriber then receives its personalized re-ranking), trim to a
+// per-subscriber top-k, and size the bounded buffer; slow consumers lose
+// the oldest buffered rankings first (counted on the subscription), never
+// stalling the engine or other subscribers. Cancelling ctx closes the
+// subscription; a nil ctx subscribes until Close. Safe for concurrent use.
+func (e *Engine) Subscribe(ctx context.Context, opts ...SubOption) *Subscription {
+	return e.broker.subscribe(ctx, opts...)
+}
+
+// Subscribers returns the number of live broker subscriptions.
+func (e *Engine) Subscribers() int { return e.broker.subscribers() }
+
+// RankingsDropped returns the total number of ranking deliveries discarded
+// across all subscriptions because consumers fell behind.
+func (e *Engine) RankingsDropped() int64 { return e.broker.droppedTotal.Load() }
+
+// Close shuts the broker down: it waits for in-flight deliveries to drain,
+// stops the dispatcher, and closes every subscription channel. The engine
+// itself remains usable for Consume/Tick/CurrentRanking, but no further
+// rankings are delivered to subscribers or OnRanking. Call Flush first if
+// the final partial tick should still be delivered. Idempotent; must not
+// be called from inside an OnRanking callback.
+func (e *Engine) Close() { e.broker.close() }
 
 // LastEventTime returns the newest event timestamp consumed so far (zero
 // before the first document). Live servers use it to drive wall-clock Ticks
-// at the stream's own clock. Lock-free: safe even from OnRanking callbacks.
+// at the stream's own clock. Lock-free.
 func (e *Engine) LastEventTime() time.Time {
 	n := e.lastSeenNano.Load()
 	if n == 0 {
@@ -319,13 +371,18 @@ func (e *Engine) Consume(it *stream.Item) {
 // Flush implements stream.Flusher: it runs a final evaluation tick at the
 // last observed event time — unless an evaluation at (or after) that time
 // already ran, in which case re-evaluating would only feed every pair's
-// predictor a duplicate observation.
+// predictor a duplicate observation. Flush then blocks until every ranking
+// published so far has been fully delivered (OnRanking callbacks returned,
+// subscription channels fed), establishing a happens-before edge: state
+// written by a callback is safely readable after Flush returns. It must
+// not be called from inside an OnRanking callback.
 func (e *Engine) Flush() {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	if at := e.LastEventTime(); !at.IsZero() && at.After(e.lastTick) {
 		e.tickLocked(at)
 	}
+	e.mu.Unlock()
+	e.broker.wait()
 }
 
 // Tick forces an evaluation at time t (used by callers driving their own
@@ -341,7 +398,7 @@ func (e *Engine) Tick(t time.Time) Ranking {
 	if !t.After(e.lastTick) {
 		return e.CurrentRanking()
 	}
-	return e.tickLocked(t)
+	return e.tickLocked(t).Clone()
 }
 
 // forEachShard runs fn(0..n-1) — inline for a single shard, one goroutine
@@ -458,16 +515,18 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	e.rankMu.Lock()
 	e.last = r
 	e.rankMu.Unlock()
-	if e.cfg.OnRanking != nil {
-		e.cfg.OnRanking(r)
-	}
+	// Hand the ranking to the broker; delivery (subscriptions and the
+	// deprecated OnRanking callback) happens on the dispatcher goroutine,
+	// outside e.mu, so consumers may call back into the engine.
+	e.broker.publish(r)
 	return r
 }
 
-// CurrentRanking returns the most recent ranking. Safe for concurrent use
-// with the consuming goroutine.
+// CurrentRanking returns a defensive copy of the most recent ranking. Safe
+// for concurrent use with the consuming goroutine; mutating the returned
+// slices cannot corrupt the engine's published state.
 func (e *Engine) CurrentRanking() Ranking {
 	e.rankMu.Lock()
 	defer e.rankMu.Unlock()
-	return e.last
+	return e.last.Clone()
 }

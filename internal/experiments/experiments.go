@@ -9,6 +9,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -57,15 +58,20 @@ type tickLog struct {
 }
 
 // runEngine feeds docs through a fresh engine with cfg and returns the tick
-// log. cfg.OnRanking is overwritten.
+// log, collected through a broker subscription.
 func runEngine(cfg core.Config, docs []source.Document) *tickLog {
 	log := &tickLog{}
-	cfg.OnRanking = func(r core.Ranking) { log.rankings = append(log.rankings, r) }
 	e := core.New(cfg)
+	// Sized beyond any experiment's tick count so no tick is dropped.
+	sub := e.Subscribe(context.Background(), core.SubBuffer(1<<14))
 	for i := range docs {
 		e.Consume(docs[i].Item())
 	}
 	e.Flush()
+	e.Close()
+	for r := range sub.Rankings() {
+		log.rankings = append(log.rankings, r)
+	}
 	return log
 }
 

@@ -1,6 +1,7 @@
 package history
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -254,12 +255,20 @@ func TestHistoryWithEngine(t *testing.T) {
 		MinCooccurrence:  2,
 		TopK:             5,
 		UpOnly:           true,
-		OnRanking: func(r core.Ranking) {
-			if err := h.Record(r); err != nil {
-				t.Errorf("Record: %v", err)
-			}
-		},
 	})
+	// Record every tick through a broker subscription, as a live server
+	// (Server.Follow) does.
+	sub := e.Subscribe(context.Background(), core.SubBuffer(256))
+	recorded := make(chan error, 1)
+	go func() {
+		defer close(recorded)
+		for r := range sub.Rankings() {
+			if err := h.Record(r); err != nil {
+				recorded <- err
+				return
+			}
+		}
+	}()
 	// Background, then an event in hour 6.
 	id := 0
 	for hr := 0; hr < 10; hr++ {
@@ -273,6 +282,10 @@ func TestHistoryWithEngine(t *testing.T) {
 		e.Consume(itemAt(t0, 6, mi, id, "news", "scandal"))
 	}
 	e.Flush()
+	e.Close() // end the subscription so the recorder goroutine finishes
+	if err := <-recorded; err != nil {
+		t.Fatalf("Record: %v", err)
+	}
 
 	if h.Len() == 0 {
 		t.Fatal("no ticks recorded")

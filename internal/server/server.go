@@ -8,6 +8,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,6 +21,20 @@ import (
 	"enblogue/internal/persona"
 	"enblogue/internal/rank"
 )
+
+// Engine is the engine surface the server consumes: stats counters plus
+// the subscription broker. Both *core.Engine and the public enblogue
+// engine satisfy it.
+type Engine interface {
+	DocsProcessed() int64
+	ActivePairs() int
+	Shards() int
+	Seeds() []string
+	LastEventTime() time.Time
+	Subscribers() int
+	RankingsDropped() int64
+	Subscribe(ctx context.Context, opts ...core.SubOption) *core.Subscription
+}
 
 // TopicView is the wire form of one ranked emergent topic.
 type TopicView struct {
@@ -117,34 +132,62 @@ func (h *Hub) Last() []byte {
 	return h.last
 }
 
-// Server exposes the enBlogue front-end endpoints:
+// Server exposes the enBlogue front-end endpoints. The stable, versioned
+// wire contract (see DESIGN.md §5):
 //
-//	GET  /            demo page (auto-connecting EventSource client)
-//	GET  /events      SSE stream of RankingView frames
-//	GET  /ranking     current RankingView snapshot (JSON)
-//	POST /profile     register/update a personalization profile (JSON)
-//	GET  /profiles    list registered profile names
+//	GET    /v1/rankings             current RankingView snapshot (JSON);
+//	                                ?profile=name for a personalized view
+//	GET    /v1/rankings/history     top topics over a time range
+//	GET    /v1/rankings/trajectory  one pair's (rank, score) over time
+//	GET    /v1/stream               SSE stream of RankingView frames;
+//	                                ?profile=name for a per-profile stream
+//	                                backed by a server-side subscription
+//	GET    /v1/profiles             list registered profiles (full JSON)
+//	POST   /v1/profiles             register/update a profile
+//	GET    /v1/profiles/{name}      fetch one profile
+//	DELETE /v1/profiles/{name}      delete a profile
+//	GET    /v1/stats                engine/broker/server counters
+//	GET    /                        demo page (auto-connecting EventSource)
+//
+// The pre-versioning routes (/events, /ranking, /profile, /profiles,
+// /history, /trajectory, /stats) remain as deprecated aliases for one
+// release; they answer identically and carry a Deprecation header pointing
+// at their successor.
 type Server struct {
 	hub      *Hub
 	registry *persona.Registry
+
+	// ctx bounds server-side subscriptions (Follow, per-profile streams
+	// outliving their request is impossible, but the feed goroutine is);
+	// Close cancels it.
+	ctx    context.Context
+	cancel context.CancelFunc
 
 	mu       sync.Mutex
 	lastView RankingView
 	prevIDs  rank.List
 	history  *history.History
 	watcher  *persona.Watcher
-	engine   *core.Engine
+	engine   Engine
 }
 
 // New returns a server with an empty profile registry.
 func New() *Server {
 	reg := persona.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		hub:      NewHub(),
 		registry: reg,
 		watcher:  persona.NewWatcher(reg, 10),
+		ctx:      ctx,
+		cancel:   cancel,
 	}
 }
+
+// Close releases the server's background resources: the engine feed
+// started by Follow and any server-side subscriptions. Idempotent. The
+// HTTP handler keeps answering from the last published state.
+func (s *Server) Close() { s.cancel() }
 
 // Hub exposes the underlying broadcast hub (for tests and embedding).
 func (s *Server) Hub() *Hub { return s.hub }
@@ -152,25 +195,54 @@ func (s *Server) Hub() *Hub { return s.hub }
 // Registry exposes the personalization registry.
 func (s *Server) Registry() *persona.Registry { return s.registry }
 
-// AttachEngine connects the engine to the server's /stats endpoint. The
-// engine is safe for concurrent use, so the server reads its counters
-// directly — no external serialization between the ingest goroutine, the
-// wall-clock ticker, and HTTP handlers is needed.
-func (s *Server) AttachEngine(e *core.Engine) {
+// AttachEngine connects the engine to the server's stats endpoint and
+// enables per-profile stream subscriptions. The engine is safe for
+// concurrent use, so the server reads its counters directly — no external
+// serialization between the ingest goroutine, the wall-clock ticker, and
+// HTTP handlers is needed. AttachEngine does not feed rankings into the
+// server; use Follow for that, or wire PublishRanking yourself.
+func (s *Server) AttachEngine(e Engine) {
 	s.mu.Lock()
 	s.engine = e
 	s.mu.Unlock()
 }
 
-// StatsView is the wire form of GET /stats.
+// Follow attaches the engine and subscribes the server to its ranking
+// broker: every evaluation tick is published to SSE clients, recorded
+// into the attached history, and personalized for registered profiles —
+// without the engine knowing the server exists. The feed stops when the
+// server is Closed or the engine's broker shuts down.
+//
+// Delivery follows the broker's drop-oldest contract: if publishing (per
+// profile rerank + history record + JSON broadcast) ever falls more than
+// the buffer behind a bursty replay, the oldest ticks are skipped rather
+// than stalling the engine — history then has gaps. Drops are observable
+// as rankingsDropped in /v1/stats; wire PublishRanking to
+// core.Config.OnRanking instead if lossless recording matters more than
+// isolation.
+func (s *Server) Follow(e Engine) {
+	s.AttachEngine(e)
+	// Sized far beyond any realistic tick backlog; PublishRanking is cheap
+	// relative to a tick interval.
+	sub := e.Subscribe(s.ctx, core.SubBuffer(4096))
+	go func() {
+		for r := range sub.Rankings() {
+			s.PublishRanking(r)
+		}
+	}()
+}
+
+// StatsView is the wire form of GET /v1/stats.
 type StatsView struct {
-	DocsProcessed int64     `json:"docsProcessed"`
-	ActivePairs   int       `json:"activePairs"`
-	Shards        int       `json:"shards"`
-	Seeds         int       `json:"seeds"`
-	LastEventTime time.Time `json:"lastEventTime"`
-	Clients       int       `json:"clients"`
-	Profiles      int       `json:"profiles"`
+	DocsProcessed   int64     `json:"docsProcessed"`
+	ActivePairs     int       `json:"activePairs"`
+	Shards          int       `json:"shards"`
+	Seeds           int       `json:"seeds"`
+	LastEventTime   time.Time `json:"lastEventTime"`
+	Clients         int       `json:"clients"`
+	Profiles        int       `json:"profiles"`
+	Subscriptions   int       `json:"subscriptions"`
+	RankingsDropped int64     `json:"rankingsDropped"`
 }
 
 // toViews converts topics to wire form.
@@ -186,7 +258,8 @@ func toViews(topics []persona.Topic) []TopicView {
 
 // PublishRanking converts an engine ranking to wire form — including each
 // registered profile's personalized list and the rank moves since the last
-// tick — and broadcasts it. Wire it to core.Config.OnRanking.
+// tick — and broadcasts it. Follow feeds it from a broker subscription;
+// callers doing their own wiring may invoke it directly.
 func (s *Server) PublishRanking(r core.Ranking) {
 	s.mu.Lock()
 	h := s.history
@@ -245,17 +318,41 @@ type profileRequest struct {
 	Exclusive  bool     `json:"exclusive"`
 }
 
-// Handler returns the HTTP handler serving all endpoints.
+// deprecated wraps a legacy handler with RFC 8594 deprecation headers
+// pointing at the /v1 successor route.
+func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Deprecation", "true")
+		w.Header().Set("Link", fmt.Sprintf("<%s>; rel=\"successor-version\"", successor))
+		h(w, r)
+	}
+}
+
+// Handler returns the HTTP handler serving all endpoints: the versioned
+// /v1 contract plus the deprecated pre-versioning aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
-	mux.HandleFunc("/events", s.handleEvents)
-	mux.HandleFunc("/ranking", s.handleRanking)
-	mux.HandleFunc("/profile", s.handleProfile)
-	mux.HandleFunc("/profiles", s.handleProfiles)
-	mux.HandleFunc("/history", s.handleHistory)
-	mux.HandleFunc("/trajectory", s.handleTrajectory)
-	mux.HandleFunc("/stats", s.handleStats)
+
+	// Versioned wire contract.
+	mux.HandleFunc("GET /v1/rankings", s.handleV1Rankings)
+	mux.HandleFunc("GET /v1/rankings/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/rankings/trajectory", s.handleTrajectory)
+	mux.HandleFunc("GET /v1/stream", s.handleV1Stream)
+	mux.HandleFunc("GET /v1/profiles", s.handleV1ProfilesList)
+	mux.HandleFunc("POST /v1/profiles", s.handleV1ProfilePut)
+	mux.HandleFunc("GET /v1/profiles/{name}", s.handleV1ProfileGet)
+	mux.HandleFunc("DELETE /v1/profiles/{name}", s.handleV1ProfileDelete)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+
+	// Deprecated aliases, kept for one release.
+	mux.HandleFunc("/events", deprecated("/v1/stream", s.handleEvents))
+	mux.HandleFunc("/ranking", deprecated("/v1/rankings", s.handleRanking))
+	mux.HandleFunc("/profile", deprecated("/v1/profiles", s.handleProfile))
+	mux.HandleFunc("/profiles", deprecated("/v1/profiles", s.handleProfiles))
+	mux.HandleFunc("/history", deprecated("/v1/rankings/history", s.handleHistory))
+	mux.HandleFunc("/trajectory", deprecated("/v1/rankings/trajectory", s.handleTrajectory))
+	mux.HandleFunc("/stats", deprecated("/v1/stats", s.handleStats))
 	return mux
 }
 
@@ -273,6 +370,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		view.Shards = e.Shards()
 		view.Seeds = len(e.Seeds())
 		view.LastEventTime = e.LastEventTime()
+		view.Subscriptions = e.Subscribers()
+		view.RankingsDropped = e.RankingsDropped()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(view); err != nil {
@@ -305,6 +404,10 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	for {
 		select {
 		case <-r.Context().Done():
+			return
+		case <-s.ctx.Done():
+			// Server closing: end the stream so http.Server.Shutdown can
+			// drain instead of timing out on parked SSE handlers.
 			return
 		case frame := <-ch:
 			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
@@ -339,6 +442,13 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "profile name required", http.StatusBadRequest)
 		return
 	}
+	s.setProfile(&req)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// setProfile registers/replaces a profile and forgets the user's alert
+// state so the new preferences re-alert.
+func (s *Server) setProfile(req *profileRequest) {
 	s.registry.Set(&persona.Profile{
 		Name:       req.Name,
 		Keywords:   req.Keywords,
@@ -346,11 +456,9 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		Boost:      req.Boost,
 		Exclusive:  req.Exclusive,
 	})
-	// Forget the user's alert state so the new preferences re-alert.
 	s.mu.Lock()
 	s.watcher.Reset(req.Name)
 	s.mu.Unlock()
-	w.WriteHeader(http.StatusNoContent)
 }
 
 func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
@@ -380,7 +488,7 @@ tr:nth-child(even){background:#f0f0f0} .score{text-align:right}
 <table><thead><tr><th>#</th><th>topic</th><th class="score">score</th></tr></thead>
 <tbody id="topics"></tbody></table>
 <script>
-const es = new EventSource('/events');
+const es = new EventSource('/v1/stream');
 es.onmessage = e => {
   const v = JSON.parse(e.data);
   document.getElementById('at').textContent = 'as of ' + v.at;

@@ -1,0 +1,222 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"enblogue/internal/core"
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+)
+
+// This file implements the /v1 wire contract. Wire shapes (TopicView,
+// RankingView, StatsView, ProfileView) are stable: fields may be added,
+// never renamed or removed, within the v1 major version. Example payloads
+// are documented in DESIGN.md §5.
+
+// ProfileView is the stable wire form of one personalization profile.
+type ProfileView struct {
+	Name       string   `json:"name"`
+	Keywords   []string `json:"keywords,omitempty"`
+	Categories []string `json:"categories,omitempty"`
+	Boost      float64  `json:"boost,omitempty"`
+	Exclusive  bool     `json:"exclusive,omitempty"`
+}
+
+func profileView(p *persona.Profile) ProfileView {
+	return ProfileView{
+		Name:       p.Name,
+		Keywords:   append([]string(nil), p.Keywords...),
+		Categories: append([]string(nil), p.Categories...),
+		Boost:      p.Boost,
+		Exclusive:  p.Exclusive,
+	}
+}
+
+// rankingToView converts a broker-delivered ranking to wire form (no
+// profiles map, moves, or alerts — those belong to the broadcast frame).
+func rankingToView(r core.Ranking) RankingView {
+	view := RankingView{At: r.At, Seeds: r.Seeds}
+	for i, t := range r.Topics {
+		view.Topics = append(view.Topics, TopicView{
+			Rank:         i + 1,
+			Tag1:         t.Pair.Tag1,
+			Tag2:         t.Pair.Tag2,
+			Score:        t.Score,
+			Correlation:  t.Correlation,
+			Cooccurrence: t.Cooccurrence,
+		})
+	}
+	return view
+}
+
+func writeJSON(w http.ResponseWriter, status int, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are already out; nothing sensible left to do.
+		_ = err
+	}
+}
+
+// handleV1Rankings serves GET /v1/rankings[?profile=name]: the current
+// broadcast ranking, or one profile's personalized view of it.
+func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	view := s.lastView
+	s.mu.Unlock()
+	name := r.URL.Query().Get("profile")
+	if name == "" {
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+	p := s.registry.Get(name)
+	if p == nil {
+		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
+		return
+	}
+	// Rerank the broadcast snapshot on demand so a profile registered
+	// after the last tick still gets a personalized answer immediately.
+	// Diagnostics (correlation, cooccurrence) are carried through the
+	// rerank so this endpoint agrees with /v1/stream?profile= frames.
+	topics := make([]persona.Topic, 0, len(view.Topics))
+	byPair := make(map[pairs.Key]TopicView, len(view.Topics))
+	for _, t := range view.Topics {
+		k := pairs.MakeKey(t.Tag1, t.Tag2)
+		topics = append(topics, persona.Topic{Pair: k, Score: t.Score})
+		byPair[k] = t
+	}
+	reranked := persona.Rerank(topics, p)
+	out := make([]TopicView, len(reranked))
+	for i, pt := range reranked {
+		orig := byPair[pt.Pair]
+		out[i] = TopicView{
+			Rank:         i + 1,
+			Tag1:         pt.Pair.Tag1,
+			Tag2:         pt.Pair.Tag2,
+			Score:        pt.Score,
+			Correlation:  orig.Correlation,
+			Cooccurrence: orig.Cooccurrence,
+		}
+	}
+	writeJSON(w, http.StatusOK, RankingView{At: view.At, Seeds: view.Seeds, Topics: out})
+}
+
+// handleV1Stream serves GET /v1/stream[?profile=name]. Without a profile
+// it is the broadcast SSE feed. With one, the server opens a dedicated
+// engine subscription carrying that persona — a server-side continuous
+// query — and streams its re-ranked views for the lifetime of the request.
+func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("profile")
+	if name == "" {
+		s.handleEvents(w, r)
+		return
+	}
+	p := s.registry.Get(name)
+	if p == nil {
+		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
+		return
+	}
+	s.mu.Lock()
+	e := s.engine
+	s.mu.Unlock()
+	if e == nil {
+		http.Error(w, "no engine attached; per-profile streams unavailable", http.StatusServiceUnavailable)
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+
+	// The subscription ends when the client disconnects OR the server
+	// closes — otherwise a parked profile stream would pin
+	// http.Server.Shutdown until its timeout.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	stop := context.AfterFunc(s.ctx, cancel)
+	defer stop()
+	sub := e.Subscribe(ctx, core.SubProfile(p), core.SubBuffer(8))
+	defer sub.Close()
+	for rk := range sub.Rankings() {
+		frame, err := json.Marshal(rankingToView(rk))
+		if err != nil {
+			return
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
+			return
+		}
+		fl.Flush()
+	}
+}
+
+// handleV1ProfilesList serves GET /v1/profiles: all registered profiles.
+func (s *Server) handleV1ProfilesList(w http.ResponseWriter, r *http.Request) {
+	names := s.registry.Names()
+	out := make([]ProfileView, 0, len(names))
+	for _, n := range names {
+		if p := s.registry.Get(n); p != nil {
+			out = append(out, profileView(p))
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleV1ProfilePut serves POST /v1/profiles: register or replace a
+// profile, answering with the stored state.
+func (s *Server) handleV1ProfilePut(w http.ResponseWriter, r *http.Request) {
+	var req profileRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "bad profile JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Name == "" {
+		http.Error(w, "profile name required", http.StatusBadRequest)
+		return
+	}
+	s.setProfile(&req)
+	// Answer from the request, not a registry re-read: a concurrent DELETE
+	// could remove the profile between Set and Get.
+	writeJSON(w, http.StatusCreated, profileView(&persona.Profile{
+		Name:       req.Name,
+		Keywords:   req.Keywords,
+		Categories: req.Categories,
+		Boost:      req.Boost,
+		Exclusive:  req.Exclusive,
+	}))
+}
+
+// handleV1ProfileGet serves GET /v1/profiles/{name}.
+func (s *Server) handleV1ProfileGet(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	p := s.registry.Get(name)
+	if p == nil {
+		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
+		return
+	}
+	writeJSON(w, http.StatusOK, profileView(p))
+}
+
+// handleV1ProfileDelete serves DELETE /v1/profiles/{name}: the persona's
+// server-side standing query ends; the next broadcast frame no longer
+// carries its view.
+func (s *Server) handleV1ProfileDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if s.registry.Get(name) == nil {
+		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
+		return
+	}
+	s.registry.Remove(name)
+	s.mu.Lock()
+	s.watcher.Reset(name)
+	s.mu.Unlock()
+	w.WriteHeader(http.StatusNoContent)
+}

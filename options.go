@@ -1,0 +1,123 @@
+package enblogue
+
+import (
+	"time"
+
+	"enblogue/internal/core"
+)
+
+// Option configures an Engine at construction. Options replace the raw
+// config struct as the public construction surface: unspecified settings
+// keep the paper's defaults, and new knobs can be added without breaking
+// callers.
+type Option func(*core.Config)
+
+// WithWindow sets the sliding statistics window: buckets of the given
+// resolution (default 48 × 1 hour).
+func WithWindow(buckets int, resolution time.Duration) Option {
+	return func(c *core.Config) {
+		c.WindowBuckets = buckets
+		c.WindowResolution = resolution
+	}
+}
+
+// WithTickEvery sets the evaluation period in event time (default: one
+// window resolution).
+func WithTickEvery(d time.Duration) Option {
+	return func(c *core.Config) { c.TickEvery = d }
+}
+
+// WithSeedCount sets the size of the seed tag set (default 50).
+func WithSeedCount(n int) Option {
+	return func(c *core.Config) { c.SeedCount = n }
+}
+
+// WithSeedMinCount sets the minimum windowed count for seed candidacy
+// (default 3).
+func WithSeedMinCount(min float64) Option {
+	return func(c *core.Config) { c.SeedMinCount = min }
+}
+
+// WithSeedWarmup bootstraps the first seed selection after n documents
+// instead of waiting for the first tick (default 100).
+func WithSeedWarmup(n int) Option {
+	return func(c *core.Config) { c.SeedWarmupDocs = n }
+}
+
+// WithMaxPairs caps tracked candidate pairs (default 100000).
+func WithMaxPairs(n int) Option {
+	return func(c *core.Config) { c.MaxPairs = n }
+}
+
+// WithShards partitions the pair space for concurrent tracking and
+// parallel tick evaluation. Rankings do not depend on the shard count on a
+// sequentially consumed stream, so this is purely a throughput knob
+// (default: one shard per available CPU).
+func WithShards(n int) Option {
+	return func(c *core.Config) { c.Shards = n }
+}
+
+// WithMeasure selects the pair correlation measure (default Jaccard).
+func WithMeasure(m Measure) Option {
+	return func(c *core.Config) { c.Measure = m }
+}
+
+// WithDistributionMode switches correlation from set overlap to the
+// paper's information-theoretic alternative: pair correlation becomes the
+// Jensen–Shannon similarity of the two tags' co-tag usage distributions.
+// Overrides WithMeasure.
+func WithDistributionMode() Option {
+	return func(c *core.Config) { c.DistributionMode = true }
+}
+
+// WithPredictor selects the correlation forecaster whose error is the
+// shift signal (default moving average).
+func WithPredictor(p Predictor) Option {
+	return func(c *core.Config) { c.Predictor = p }
+}
+
+// WithPredictorConfig tunes the selected predictor.
+func WithPredictorConfig(cfg PredictorConfig) Option {
+	return func(c *core.Config) { c.PredictorConfig = cfg }
+}
+
+// WithHalfLife dampens past prediction errors with the given half-life
+// (default 2 days).
+func WithHalfLife(d time.Duration) Option {
+	return func(c *core.Config) { c.HalfLife = d }
+}
+
+// WithMinCooccurrence sets the significance floor for scoring (default 2).
+func WithMinCooccurrence(min float64) Option {
+	return func(c *core.Config) { c.MinCooccurrence = min }
+}
+
+// WithUpOnly restricts shifts to correlation increases.
+func WithUpOnly() Option {
+	return func(c *core.Config) { c.UpOnly = true }
+}
+
+// WithTopK sets the ranking length (default 20).
+func WithTopK(k int) Option {
+	return func(c *core.Config) { c.TopK = k }
+}
+
+// WithEntities merges entity tags into the tag space so tag/entity
+// mixtures can emerge as topics. A non-nil tagger additionally annotates
+// items that arrive with text but no entities; pass nil to rely on the
+// entities already present on each item.
+func WithEntities(t *Tagger) Option {
+	return func(c *core.Config) {
+		c.UseEntities = true
+		c.Tagger = t
+	}
+}
+
+// WithOnRanking installs the legacy per-tick callback.
+//
+// Deprecated: use Engine.Subscribe, which supports per-subscriber persona
+// re-ranking, top-k trimming, and bounded drop-oldest buffering. The
+// callback runs on the broker dispatcher goroutine; see core.Config.
+func WithOnRanking(fn func(Ranking)) Option {
+	return func(c *core.Config) { c.OnRanking = fn }
+}

@@ -1,0 +1,100 @@
+package enblogue
+
+import (
+	"io"
+	"time"
+
+	"enblogue/internal/entity"
+	"enblogue/internal/source"
+)
+
+// Built-in data scenarios and stream helpers, so programs against the
+// public API (the examples, quickstarts, benchmarks of downstream users)
+// need no access to internal data-generation packages.
+
+// ScenarioEvent is one scripted ground-truth happening inside a built-in
+// scenario: the tag pair whose correlation shifts, and when.
+type ScenarioEvent struct {
+	Name  string
+	Start time.Time
+	End   time.Time
+	Pair  Key
+}
+
+func scenarioEvents(events []source.Event) []ScenarioEvent {
+	out := make([]ScenarioEvent, len(events))
+	for i := range events {
+		e := &events[i]
+		out[i] = ScenarioEvent{
+			Name:  e.Name,
+			Start: e.Start,
+			End:   e.Start.Add(e.Duration),
+			Pair:  e.Pair(),
+		}
+	}
+	return out
+}
+
+func docsToItems(docs []source.Document) Items {
+	items := make(Items, len(docs))
+	for i := range docs {
+		items[i] = docs[i].Item()
+	}
+	return items
+}
+
+// TweetScenario returns the paper's live-demo workload: a simulated
+// Twitter stream over the given span with the scripted SIGMOD/Athens
+// surge and a volcano/air-traffic happening, plus the ground-truth events
+// for latency measurement. Deterministic for a given span.
+func TweetScenario(span time.Duration) (Items, []ScenarioEvent) {
+	cfg := source.TweetConfig{
+		Seed: 7, Span: span, TweetsPerMinute: 20,
+		Happenings: source.SIGMODAthensScenario(span),
+	}
+	return docsToItems(source.GenerateTweets(cfg)), scenarioEvents(cfg.Events())
+}
+
+// ArchiveScenario returns the "revisiting historic events" workload: a
+// synthetic news archive of the given length starting at start, with three
+// injected events (a hurricane, an election recount, a World Cup upset).
+// Deterministic for given arguments.
+func ArchiveScenario(start time.Time, days int) (Items, []ScenarioEvent) {
+	events := source.HistoricEvents(start)
+	docs := source.GenerateArchive(source.ArchiveConfig{
+		Seed: 42, Start: start, Days: days, DocsPerDay: 240, Events: events,
+	})
+	return docsToItems(docs), scenarioEvents(events)
+}
+
+// Replay wraps items in a time-lapse source: inter-item gaps are replayed
+// at the given speedup (event time / wall time), capped at two seconds of
+// wall sleep per gap so archive nights don't stall a demo. A speedup of
+// zero replays as fast as possible.
+func Replay(items Items, speedup float64) Source {
+	docs := make([]source.Document, len(items))
+	for i, it := range items {
+		docs[i] = source.FromItem(it)
+	}
+	return &source.Replayer{Docs: docs, Speedup: speedup}
+}
+
+// ReadItemsJSONL reads a JSONL dataset (one document per line, as written
+// by cmd/datagen) into items sorted by timestamp. Malformed lines are
+// skipped and counted rather than failing the load.
+func ReadItemsJSONL(r io.Reader) (Items, int, error) {
+	docs, skipped, err := source.ReadJSONL(r, false)
+	if err != nil {
+		return nil, skipped, err
+	}
+	source.SortDocs(docs)
+	return docsToItems(docs), skipped, nil
+}
+
+// SampleTagger returns an entity tagger loaded with the repository's small
+// built-in gazetteer — enough for the demos and tests; production callers
+// load their own gazetteer via internal wiring or provide pre-tagged
+// items.
+func SampleTagger() *Tagger {
+	return entity.NewTagger(entity.Sample())
+}
