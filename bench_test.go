@@ -97,6 +97,7 @@ func BenchmarkThroughputEngine(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				e.Consume(items[i%len(items)])
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 		})
 	}
 }
@@ -121,6 +122,7 @@ func BenchmarkThroughputSharded(b *testing.B) {
 				it.Time = it.Time.Add(time.Duration(i/len(items)) * span)
 				e.Consume(&it)
 			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 		})
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"enblogue/internal/pairs"
 	"enblogue/internal/persona"
 	"enblogue/internal/source"
 )
@@ -288,12 +289,13 @@ func TestRankingAccessorsReturnDefensiveCopies(t *testing.T) {
 	if len(r1.Topics) == 0 || len(r1.Seeds) == 0 {
 		t.Fatal("workload produced no topics/seeds")
 	}
+	origPair := r1.Topics[0].Pair
 	r1.Seeds[0] = "corrupted"
 	r1.Topics[0].Score = -1
-	r1.Topics[0].Pair.Tag1 = "corrupted"
+	r1.Topics[0].Pair = pairs.MakeKey("corrupted", "pair")
 
 	r2 := e.CurrentRanking()
-	if r2.Seeds[0] == "corrupted" || r2.Topics[0].Score == -1 || r2.Topics[0].Pair.Tag1 == "corrupted" {
+	if r2.Seeds[0] == "corrupted" || r2.Topics[0].Score == -1 || r2.Topics[0].Pair != origPair {
 		t.Fatal("CurrentRanking aliases engine state")
 	}
 	seeds := e.Seeds()

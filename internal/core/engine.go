@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"enblogue/internal/entity"
+	"enblogue/internal/intern"
 	"enblogue/internal/pairs"
 	"enblogue/internal/predict"
 	"enblogue/internal/shift"
@@ -204,6 +205,12 @@ type Engine struct {
 	nextTick time.Time
 	lastTick time.Time // newest evaluation time, guards forced-Tick rewinds
 
+	// tick holds the per-tick working set — snapshot, keep-set, and top-k
+	// buffers per shard plus the ID-keyed tag-count index — reused across
+	// ticks so a steady-state evaluation pass allocates almost nothing.
+	// Only tickLocked touches it, under mu.
+	tick tickScratch
+
 	rankMu sync.Mutex
 	last   Ranking
 
@@ -227,6 +234,7 @@ func New(cfg Config) *Engine {
 	return &Engine{
 		dist:   dist,
 		cfg:    c,
+		tick:   newTickScratch(c.Shards),
 		broker: newBroker(c.OnRanking),
 		tags: tagstats.NewTracker(tagstats.Config{
 			Buckets:    c.WindowBuckets,
@@ -401,33 +409,147 @@ func (e *Engine) Tick(t time.Time) Ranking {
 	return e.tickLocked(t).Clone()
 }
 
-// forEachShard runs fn(0..n-1) — inline for a single shard, one goroutine
-// per shard otherwise, returning when all complete.
+// forEachShard runs fn(0..n-1), returning when all complete. Work fans out
+// over min(n, GOMAXPROCS) goroutines in strided shard order — spawning
+// more workers than runnable processors only adds scheduling overhead —
+// and runs inline when that bound is one. Shards share no mutable state,
+// so the shard→worker assignment cannot affect results.
 func forEachShard(n int, fn func(int)) {
-	if n == 1 {
-		fn(0)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
 		return
 	}
 	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
 			defer wg.Done()
-			fn(i)
-		}(i)
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
 	}
 	wg.Wait()
 }
 
 // sortTopics orders topics by descending score, ties broken by the pair
-// rendering — the engine's deterministic ranking order.
+// rendering (compared through Key.Less, which orders exactly like the
+// rendered strings without building them) — the engine's deterministic
+// ranking order.
 func sortTopics(topics []shift.Topic) {
 	sort.Slice(topics, func(i, j int) bool {
 		if topics[i].Score != topics[j].Score {
 			return topics[i].Score > topics[j].Score
 		}
-		return topics[i].Pair.String() < topics[j].Pair.String()
+		return topics[i].Pair.Less(topics[j].Pair)
 	})
+}
+
+// topicWorse reports whether a ranks strictly below b in the engine's
+// deterministic ranking order: lower score, ties by pair rendering
+// descending.
+func topicWorse(a, b shift.Topic) bool {
+	if a.Score != b.Score {
+		return a.Score < b.Score
+	}
+	return b.Pair.Less(a.Pair)
+}
+
+// topkPush folds t into h, a bounded min-heap of capacity k whose root is
+// the worst kept topic under topicWorse. Selecting the per-shard top-k this
+// way replaces the former sort of every scored topic per shard per tick
+// (O(p log p)) with O(p log k), and the heap slice is reused across ticks.
+// The ranking order is a strict total order (scores tie-broken by distinct
+// pair keys), so the kept set — later sorted by sortTopics — is exactly
+// the prefix a full sort-and-trim would keep.
+func topkPush(h []shift.Topic, k int, t shift.Topic) []shift.Topic {
+	if len(h) < k {
+		h = append(h, t)
+		for i := len(h) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !topicWorse(h[i], h[p]) {
+				break
+			}
+			h[i], h[p] = h[p], h[i]
+			i = p
+		}
+		return h
+	}
+	if !topicWorse(h[0], t) {
+		return h // t is no better than the worst kept topic
+	}
+	h[0] = t
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(h) && topicWorse(h[l], h[m]) {
+			m = l
+		}
+		if r < len(h) && topicWorse(h[r], h[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+	return h
+}
+
+// tickScratch is the engine's reusable per-tick working set; see the
+// Engine.tick field. Tag counts live in a dense epoch-tagged index keyed by
+// interned tag ID: setCount stamps an entry with the current tick's epoch,
+// count reads entries stamped this epoch and returns 0 for anything older —
+// so "clearing" the index between ticks is one integer increment, and the
+// per-pair lookup is two array reads instead of a string-keyed map probe.
+type tickScratch struct {
+	counts     []float64
+	countEpoch []uint32
+	epoch      uint32
+	snaps      [][]pairs.PairCount
+	tops       [][]shift.Topic
+	merged     []shift.Topic
+}
+
+func newTickScratch(shards int) tickScratch {
+	return tickScratch{
+		snaps: make([][]pairs.PairCount, shards),
+		tops:  make([][]shift.Topic, shards),
+	}
+}
+
+// beginCounts starts a fresh count epoch.
+func (ts *tickScratch) beginCounts() { ts.epoch++ }
+
+// setCount records tag id's windowed count for the current epoch, growing
+// the index as the interned vocabulary grows.
+func (ts *tickScratch) setCount(id uint32, v float64) {
+	if int(id) >= len(ts.counts) {
+		grown := make([]float64, id+1)
+		copy(grown, ts.counts)
+		ts.counts = grown
+		grownE := make([]uint32, id+1)
+		copy(grownE, ts.countEpoch)
+		ts.countEpoch = grownE
+	}
+	ts.counts[id] = v
+	ts.countEpoch[id] = ts.epoch
+}
+
+// count returns tag id's windowed count for the current epoch, 0 if the
+// tag was not recorded this tick.
+func (ts *tickScratch) count(id uint32) float64 {
+	if int(id) >= len(ts.countEpoch) || ts.countEpoch[id] != ts.epoch {
+		return 0
+	}
+	return ts.counts[id]
 }
 
 // tickLocked reselects seeds, evaluates every candidate pair — all shards
@@ -448,11 +570,24 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	n := e.tags.DocCount()
 	// One snapshot per tick of whatever the workers will read — tag counts
 	// or co-tag distributions — so the parallel shard workers never touch
-	// (and mutate, or serialise on) the shared trackers.
-	var counts map[string]float64
+	// (and mutate, or serialise on) the shared trackers. The default-mode
+	// count index is keyed by interned tag ID and reused across ticks:
+	// workers then look pair members up by uint32 instead of hashing two
+	// strings per pair.
+	ts := &e.tick
 	var dists map[string]map[string]float64
 	if e.dist == nil {
-		counts = e.tags.Counts()
+		ts.beginCounts()
+		e.tags.ForEachCount(func(tag string, v float64) {
+			// Find, not Intern: ID assignment happens only on the ingest
+			// path, in first-seen stream order, so replays shard
+			// identically. A tag with no ID was never part of any
+			// candidate pair (only ≥2-tag documents intern), so its count
+			// can never be read by the evaluation below.
+			if id, ok := intern.Find(tag); ok {
+				ts.setCount(id, v)
+			}
+		})
 	} else {
 		dists = e.dist.Snapshot()
 	}
@@ -463,53 +598,56 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	// precisely when a single global detector would — even if a concurrent
 	// producer is inserting pairs mid-tick.
 	nsh := e.pairsTr.Shards()
-	snaps := make([][]pairs.PairCount, nsh)
-	forEachShard(nsh, func(i int) { snaps[i] = e.pairsTr.Snapshot(i) })
+	forEachShard(nsh, func(i int) {
+		ts.snaps[i] = e.pairsTr.AppendSnapshot(i, ts.snaps[i][:0])
+	})
 	total := 0
-	for _, s := range snaps {
+	for _, s := range ts.snaps {
 		total += len(s)
 	}
 	if total > 0 {
 		e.det.BeginTick(t)
 	}
 
-	perShard := make([][]shift.Topic, nsh)
 	eval := func(i int) {
-		snap := snaps[i]
+		snap := ts.snaps[i]
 		det := e.det.Shard(i)
-		topics := make([]shift.Topic, 0, len(snap))
-		keep := make(map[pairs.Key]bool, len(snap))
+		top := ts.tops[i][:0]
 		for _, pc := range snap {
-			keep[pc.Key] = true
 			var topic shift.Topic
 			if e.dist != nil {
+				tag1, tag2 := pc.Key.Tags()
 				topic = det.EvaluateCorrelation(t, pc.Key,
-					pairs.SimilarityFrom(dists, pc.Key.Tag1, pc.Key.Tag2), pc.Count)
+					pairs.SimilarityFrom(dists, tag1, tag2), pc.Count)
 			} else {
+				ida, idb := pc.Key.IDs()
 				topic = det.Evaluate(t, pc.Key, pc.Count,
-					counts[pc.Key.Tag1], counts[pc.Key.Tag2], n)
+					ts.count(ida), ts.count(idb), n)
 			}
 			if topic.Score > 0 {
-				topics = append(topics, topic)
+				top = topkPush(top, e.cfg.TopK, topic)
 			}
 		}
-		sortTopics(topics)
-		if len(topics) > e.cfg.TopK {
-			topics = topics[:e.cfg.TopK]
-		}
-		det.Sweep(t, keep, 1e-9)
-		perShard[i] = topics
+		sortTopics(top)
+		// Every pair just evaluated carries seen == t, so the stale sweep
+		// is exactly the old keep-map sweep without building a keep set.
+		det.SweepStale(t, 1e-9)
+		ts.tops[i] = top
 	}
 	forEachShard(nsh, eval)
 
-	var topics []shift.Topic
-	for _, ts := range perShard {
-		topics = append(topics, ts...)
+	ts.merged = ts.merged[:0]
+	for _, shardTop := range ts.tops {
+		ts.merged = append(ts.merged, shardTop...)
 	}
-	sortTopics(topics)
-	if len(topics) > e.cfg.TopK {
-		topics = topics[:e.cfg.TopK]
+	sortTopics(ts.merged)
+	m := ts.merged
+	if len(m) > e.cfg.TopK {
+		m = m[:e.cfg.TopK]
 	}
+	// The published ranking owns a fresh slice: the merge buffer is reused
+	// next tick, while the Ranking escapes to the broker and history.
+	topics := append([]shift.Topic(nil), m...)
 
 	r := Ranking{At: t, Seeds: seeds, Topics: topics}
 	e.rankMu.Lock()

@@ -18,19 +18,20 @@ import (
 // tracked (i.e. containing a seed) can contribute, which is exactly the
 // candidate universe the engine maintains.
 func (e *Engine) ExpandTopic(k pairs.Key, maxExtra int) []string {
-	set := []string{k.Tag1, k.Tag2}
+	tag1, tag2 := k.Tag1(), k.Tag2()
+	set := []string{tag1, tag2}
 	if maxExtra <= 0 {
 		return set
 	}
 	co1 := make(map[string]float64)
 	co2 := make(map[string]float64)
 	for _, kk := range e.pairsTr.Keys() {
-		if o, ok := kk.Other(k.Tag1); ok && o != k.Tag2 {
+		if o, ok := kk.Other(tag1); ok && o != tag2 {
 			if c := e.pairsTr.Cooccurrence(kk); c > 0 {
 				co1[o] = c
 			}
 		}
-		if o, ok := kk.Other(k.Tag2); ok && o != k.Tag1 {
+		if o, ok := kk.Other(tag2); ok && o != tag1 {
 			if c := e.pairsTr.Cooccurrence(kk); c > 0 {
 				co2[o] = c
 			}

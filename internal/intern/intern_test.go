@@ -1,0 +1,135 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestInternDenseAndStable(t *testing.T) {
+	var tb Table
+	ids := make(map[uint32]string)
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("tag%d", i)
+		id := tb.Intern(s)
+		if id != uint32(i) {
+			t.Fatalf("Intern(%q) = %d, want dense %d", s, id, i)
+		}
+		ids[id] = s
+	}
+	// Re-interning returns the same IDs.
+	for i := 0; i < 1000; i++ {
+		s := fmt.Sprintf("tag%d", i)
+		if id := tb.Intern(s); ids[id] != s {
+			t.Fatalf("re-Intern(%q) = %d, want stable", s, id)
+		}
+	}
+	for id, s := range ids {
+		if got := tb.Lookup(id); got != s {
+			t.Fatalf("Lookup(%d) = %q, want %q", id, got, s)
+		}
+	}
+	if tb.Len() != 1000 {
+		t.Fatalf("Len = %d, want 1000", tb.Len())
+	}
+}
+
+// Find must resolve both promoted and still-pending strings, and must
+// never assign an ID itself.
+func TestFindDoesNotIntern(t *testing.T) {
+	var tb Table
+	if _, ok := tb.Find("ghost"); ok {
+		t.Fatal("Find invented an ID")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Find interned: Len = %d", tb.Len())
+	}
+	id := tb.Intern("real") // pending, not yet promoted
+	if got, ok := tb.Find("real"); !ok || got != id {
+		t.Fatalf("Find(pending) = %d,%v want %d,true", got, ok, id)
+	}
+	for i := 0; i < 100; i++ { // force promotion
+		tb.Intern(fmt.Sprintf("bulk%d", i))
+	}
+	if got, ok := tb.Find("real"); !ok || got != id {
+		t.Fatalf("Find(promoted) = %d,%v want %d,true", got, ok, id)
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	var tb Table
+	if got := tb.Lookup(0); got != "" {
+		t.Fatalf("Lookup on empty table = %q", got)
+	}
+	tb.Intern("a")
+	if got := tb.Lookup(99); got != "" {
+		t.Fatalf("Lookup(99) = %q, want empty", got)
+	}
+}
+
+// A freshly interned ID must resolve immediately, even before promotion
+// into the lock-free snapshot.
+func TestLookupBeforePromotion(t *testing.T) {
+	var tb Table
+	id := tb.Intern("solo")
+	if got := tb.Lookup(id); got != "solo" {
+		t.Fatalf("Lookup(just-interned) = %q", got)
+	}
+}
+
+func TestInternConcurrent(t *testing.T) {
+	var tb Table
+	const workers, n = 8, 2000
+	var wg sync.WaitGroup
+	got := make([][]uint32, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			got[w] = make([]uint32, n)
+			for i := 0; i < n; i++ {
+				got[w][i] = tb.Intern(fmt.Sprintf("t%d", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Every worker must agree on every string's ID.
+	for w := 1; w < workers; w++ {
+		for i := 0; i < n; i++ {
+			if got[w][i] != got[0][i] {
+				t.Fatalf("worker %d: id[%d] = %d, want %d", w, i, got[w][i], got[0][i])
+			}
+		}
+	}
+	if tb.Len() != n {
+		t.Fatalf("Len = %d, want %d", tb.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		if tb.Lookup(got[0][i]) != fmt.Sprintf("t%d", i) {
+			t.Fatalf("Lookup(%d) mismatch", got[0][i])
+		}
+	}
+}
+
+// Steady-state interning of an already-promoted vocabulary must not
+// allocate: the hot ingest path relies on it.
+func TestInternSteadyStateZeroAlloc(t *testing.T) {
+	var tb Table
+	words := make([]string, 256)
+	for i := range words {
+		words[i] = fmt.Sprintf("w%d", i)
+	}
+	for range [4]int{} { // intern enough times to force promotions
+		for _, w := range words {
+			tb.Intern(w)
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for _, w := range words {
+			tb.Intern(w)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state Intern allocates %.1f per run, want 0", avg)
+	}
+}

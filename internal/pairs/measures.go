@@ -185,13 +185,24 @@ func KLDivergence(p, q map[string]float64, lambda float64) float64 {
 // is deterministic in the map contents (summation runs in sorted key
 // order).
 func JSDistance(p, q map[string]float64) float64 {
-	support := unionSupport(p, q, true)
+	return jsDistance(p, q, "", "", false)
+}
+
+// jsDistance is JSDistance with an optional per-map exclusion key: when
+// useEx is set, key exp is treated as absent from p and key exq as absent
+// from q. This is how DistTracker excludes each pair member from its
+// partner's co-tag distribution without copying either map per pair per
+// tick — the inputs are shared snapshot maps and are never mutated. The
+// result is bit-identical to JSDistance on copies with the keys deleted:
+// the support set, and therefore the sorted summation order, is the same.
+func jsDistance(p, q map[string]float64, exp, exq string, useEx bool) float64 {
+	support := unionSupportExcluding(p, q, exp, exq, useEx)
 	var pTotal, qTotal float64
 	for _, k := range support {
-		if v := p[k]; v > 0 {
+		if v := exclVal(p, k, exp, useEx); v > 0 {
 			pTotal += v
 		}
-		if v := q[k]; v > 0 {
+		if v := exclVal(q, k, exq, useEx); v > 0 {
 			qTotal += v
 		}
 	}
@@ -203,8 +214,8 @@ func JSDistance(p, q map[string]float64) float64 {
 	}
 	var js float64
 	for _, k := range support {
-		pk := p[k] / pTotal
-		qk := q[k] / qTotal
+		pk := exclVal(p, k, exp, useEx) / pTotal
+		qk := exclVal(q, k, exq, useEx) / qTotal
 		m := (pk + qk) / 2
 		if pk > 0 {
 			js += pk / 2 * math.Log2(pk/m)
@@ -220,4 +231,35 @@ func JSDistance(p, q map[string]float64) float64 {
 		js = 1
 	}
 	return math.Sqrt(js)
+}
+
+// exclVal reads m[k], treating key ex as absent when useEx is set.
+func exclVal(m map[string]float64, k, ex string, useEx bool) float64 {
+	if useEx && k == ex {
+		return 0
+	}
+	return m[k]
+}
+
+// unionSupportExcluding returns the sorted union of the two maps' positive
+// keys, honouring the per-map exclusions. Unlike unionSupport it needs no
+// dedup map: a key from q is skipped when p already contributed it.
+func unionSupportExcluding(p, q map[string]float64, exp, exq string, useEx bool) []string {
+	support := make([]string, 0, len(p)+len(q))
+	for k, v := range p {
+		if v > 0 && !(useEx && k == exp) {
+			support = append(support, k)
+		}
+	}
+	for k, v := range q {
+		if v <= 0 || (useEx && k == exq) {
+			continue
+		}
+		if pv, ok := p[k]; ok && pv > 0 && !(useEx && k == exp) {
+			continue // already contributed by p
+		}
+		support = append(support, k)
+	}
+	sort.Strings(support)
+	return support
 }

@@ -17,8 +17,8 @@ func TestMakeKeyCanonical(t *testing.T) {
 	if k1 != k2 {
 		t.Errorf("keys differ: %v vs %v", k1, k2)
 	}
-	if k1.Tag1 != "iceland" || k1.Tag2 != "volcano" {
-		t.Errorf("not canonical: %+v", k1)
+	if k1.Tag1() != "iceland" || k1.Tag2() != "volcano" {
+		t.Errorf("not canonical: %v", k1)
 	}
 	if k1.String() != "iceland+volcano" {
 		t.Errorf("String = %q", k1.String())

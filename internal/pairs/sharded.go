@@ -5,48 +5,9 @@ import (
 	"sync/atomic"
 	"time"
 
+	"enblogue/internal/intern"
 	"enblogue/internal/window"
 )
-
-// Shard maps the pair to one of n shards. The function is pure in the key
-// contents: the same key always lands on the same shard for a given n, and
-// for n == 1 every key lands on shard 0.
-func (k Key) Shard(n int) int {
-	if n <= 1 {
-		return 0
-	}
-	return int(k.hash() % uint64(n))
-}
-
-// hash returns a stable 64-bit hash of the canonical pair rendering: FNV-1a
-// with a final avalanche mix. FNV is used instead of maphash so shard
-// assignment is identical across processes — replaying the same stream in
-// two runs shards identically. The avalanche step (splitmix64's finaliser)
-// fixes FNV's weak low bits, which otherwise skew modulo power-of-two shard
-// counts.
-func (k Key) hash() uint64 {
-	const (
-		offset64 = 14695981039346656037
-		prime64  = 1099511628211
-	)
-	h := uint64(offset64)
-	for i := 0; i < len(k.Tag1); i++ {
-		h ^= uint64(k.Tag1[i])
-		h *= prime64
-	}
-	h ^= '+'
-	h *= prime64
-	for i := 0; i < len(k.Tag2); i++ {
-		h ^= uint64(k.Tag2[i])
-		h *= prime64
-	}
-	h ^= h >> 30
-	h *= 0xbf58476d1ce4e5b9
-	h ^= h >> 27
-	h *= 0x94d049bb133111eb
-	h ^= h >> 31
-	return h
-}
 
 // PairCount is one tracked pair and its windowed co-occurrence count, as
 // returned by ShardedTracker.Snapshot.
@@ -55,13 +16,16 @@ type PairCount struct {
 	Count float64
 }
 
-// trackerShard owns one partition of the pair space: its counters and the
-// lock that guards them. The window clock is tracker-global (nowNano), not
-// per shard, so quiet shards expire their counters at the same times the
-// serial Tracker would.
+// trackerShard owns one partition of the pair space: an ID-keyed slot map
+// into a slab-allocated counter arena (one backing slice of buckets per
+// shard instead of one heap object per pair), and the lock that guards
+// them. The window clock is tracker-global (nowNano), not per shard, so
+// quiet shards expire their counters at the same times the serial Tracker
+// would.
 type trackerShard struct {
 	mu    sync.Mutex
-	pairs map[Key]*window.Counter
+	slots map[Key]int32
+	arena *window.CounterArena
 }
 
 // ShardedTracker is the concurrent counterpart of Tracker: the pair space is
@@ -97,7 +61,10 @@ func NewShardedTracker(cfg Config) *ShardedTracker {
 	}
 	shards := make([]*trackerShard, n)
 	for i := range shards {
-		shards[i] = &trackerShard{pairs: make(map[Key]*window.Counter)}
+		shards[i] = &trackerShard{
+			slots: make(map[Key]int32),
+			arena: window.NewCounterArena(c.Buckets, c.Resolution),
+		}
 	}
 	return &ShardedTracker{cfg: c, shards: shards}
 }
@@ -133,30 +100,74 @@ func (tr *ShardedTracker) advanceNow(t time.Time) {
 	}
 }
 
+// observeScratch carries one Observe call's per-document working set —
+// interned IDs, seed flags, and the per-shard key groups — so the steady
+// state allocates nothing. Pooled because Observe is safe for concurrent
+// producers.
+type observeScratch struct {
+	ids     []uint32
+	seed    []bool
+	byShard [][]Key
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(observeScratch) }}
+
+// getScratch returns a scratch with at least n empty per-shard groups.
+func getScratch(n int) *observeScratch {
+	sc := scratchPool.Get().(*observeScratch)
+	for len(sc.byShard) < n {
+		sc.byShard = append(sc.byShard, nil)
+	}
+	return sc
+}
+
 // Observe records one document's tag set at time t, incrementing the
 // co-occurrence count of every candidate pair (pairs with at least one tag
 // satisfying isSeed; nil isSeed tracks all pairs). Safe for concurrent use;
-// concurrent observers contend only on the shards their pairs hash to.
+// concurrent observers contend only on the shards their pairs hash to, and
+// each shard lock is taken at most once per document.
 func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string) bool) {
 	tr.advanceNow(t)
 	if len(tags) >= 2 {
 		uniq := dedupTags(tags)
+		sc := getScratch(len(tr.shards))
+		sc.ids = sc.ids[:0]
+		sc.seed = sc.seed[:0]
+		for _, tag := range uniq {
+			sc.ids = append(sc.ids, intern.Intern(tag))
+			if isSeed != nil {
+				sc.seed = append(sc.seed, isSeed(tag))
+			}
+		}
 		if len(tr.shards) == 1 {
 			// Serial-reference fast path: one lock, counters updated
-			// inline, no grouping buffers.
+			// inline, no grouping.
 			sh := tr.shards[0]
 			sh.mu.Lock()
-			forEachCandidatePair(uniq, isSeed, func(k Key) { tr.incLocked(sh, k, t) })
+			for i := 0; i < len(sc.ids); i++ {
+				for j := i + 1; j < len(sc.ids); j++ {
+					if isSeed != nil && !sc.seed[i] && !sc.seed[j] {
+						continue
+					}
+					tr.incLocked(sh, KeyFromIDs(sc.ids[i], sc.ids[j]), t)
+				}
+			}
 			sh.mu.Unlock()
 		} else {
 			// Group this document's candidate pairs by shard so each shard
 			// lock is taken at most once per document.
-			byShard := make([][]Key, len(tr.shards))
-			forEachCandidatePair(uniq, isSeed, func(k Key) {
-				s := k.Shard(len(tr.shards))
-				byShard[s] = append(byShard[s], k)
-			})
-			for s, keys := range byShard {
+			n := len(tr.shards)
+			for i := 0; i < len(sc.ids); i++ {
+				for j := i + 1; j < len(sc.ids); j++ {
+					if isSeed != nil && !sc.seed[i] && !sc.seed[j] {
+						continue
+					}
+					k := KeyFromIDs(sc.ids[i], sc.ids[j])
+					s := k.Shard(n)
+					sc.byShard[s] = append(sc.byShard[s], k)
+				}
+			}
+			for s, keys := range sc.byShard[:n] {
 				if len(keys) == 0 {
 					continue
 				}
@@ -166,8 +177,10 @@ func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string
 					tr.incLocked(sh, k, t)
 				}
 				sh.mu.Unlock()
+				sc.byShard[s] = keys[:0]
 			}
 		}
+		scratchPool.Put(sc)
 	}
 	// Sweep on the same global triggers as the serial Tracker: every
 	// SweepEvery observed documents, or immediately when over budget.
@@ -183,16 +196,16 @@ func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string
 	}
 }
 
-// incLocked upserts pair k's counter in sh and records the event at time
-// t. The caller must hold sh.mu.
+// incLocked upserts pair k's counter slot in sh and records the event at
+// time t. The caller must hold sh.mu.
 func (tr *ShardedTracker) incLocked(sh *trackerShard, k Key, t time.Time) {
-	c, ok := sh.pairs[k]
+	slot, ok := sh.slots[k]
 	if !ok {
-		c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
-		sh.pairs[k] = c
+		slot = sh.arena.Alloc()
+		sh.slots[k] = slot
 		tr.npairs.Add(1)
 	}
-	c.Inc(t)
+	sh.arena.Inc(slot, t)
 }
 
 // sweepDue reports whether a sweep trigger is pending.
@@ -220,10 +233,10 @@ func (tr *ShardedTracker) sweepLocked() {
 	}
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
-		for k, c := range sh.pairs {
-			c.Observe(now)
-			if c.Value() == 0 {
-				delete(sh.pairs, k)
+		for k, slot := range sh.slots {
+			if sh.arena.ValueAt(slot, now) == 0 {
+				delete(sh.slots, k)
+				sh.arena.Release(slot)
 				tr.npairs.Add(-1)
 			}
 		}
@@ -237,16 +250,17 @@ func (tr *ShardedTracker) sweepLocked() {
 	all := make([]counted[Key], 0, tr.npairs.Load())
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
-		for k, c := range sh.pairs {
-			all = append(all, counted[Key]{k, k.String(), c.Value()})
+		for k, slot := range sh.slots {
+			all = append(all, counted[Key]{k, sh.arena.Value(slot)})
 		}
 		sh.mu.Unlock()
 	}
-	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), func(k Key) {
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key) {
 		sh := tr.shards[k.Shard(len(tr.shards))]
 		sh.mu.Lock()
-		if _, ok := sh.pairs[k]; ok {
-			delete(sh.pairs, k)
+		if slot, ok := sh.slots[k]; ok {
+			delete(sh.slots, k)
+			sh.arena.Release(slot)
 			tr.npairs.Add(-1)
 		}
 		sh.mu.Unlock()
@@ -260,12 +274,11 @@ func (tr *ShardedTracker) Cooccurrence(k Key) float64 {
 	now := tr.now()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c, ok := sh.pairs[k]
+	slot, ok := sh.slots[k]
 	if !ok {
 		return 0
 	}
-	c.Observe(now)
-	return c.Value()
+	return sh.arena.ValueAt(slot, now)
 }
 
 // Series returns the per-bucket co-occurrence counts of the pair, oldest
@@ -275,12 +288,12 @@ func (tr *ShardedTracker) Series(k Key) []float64 {
 	now := tr.now()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	c, ok := sh.pairs[k]
+	slot, ok := sh.slots[k]
 	if !ok {
 		return nil
 	}
-	c.Observe(now)
-	return c.Series()
+	sh.arena.Observe(slot, now)
+	return sh.arena.Series(slot)
 }
 
 // ActivePairs returns the number of pairs currently tracked across shards.
@@ -291,7 +304,7 @@ func (tr *ShardedTracker) Keys() []Key {
 	out := make([]Key, 0, tr.npairs.Load())
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
-		for k := range sh.pairs {
+		for k := range sh.slots {
 			out = append(out, k)
 		}
 		sh.mu.Unlock()
@@ -301,19 +314,33 @@ func (tr *ShardedTracker) Keys() []Key {
 
 // Snapshot returns shard i's pairs with counters advanced to the tracker
 // clock. It takes shard i's lock exactly once, making it the preferred read
-// path for per-shard evaluation workers: each worker snapshots its own
-// shard and then computes without holding any lock.
+// path for per-shard evaluation workers.
 func (tr *ShardedTracker) Snapshot(i int) []PairCount {
+	return tr.AppendSnapshot(i, nil)
+}
+
+// AppendSnapshot appends shard i's pairs — counters advanced to the
+// tracker clock — to buf and returns it. Evaluation workers pass a
+// per-shard buffer reused across ticks (buf[:0]) so the steady-state tick
+// allocates nothing for snapshots.
+func (tr *ShardedTracker) AppendSnapshot(i int, buf []PairCount) []PairCount {
 	sh := tr.shards[i]
 	now := tr.now()
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	out := make([]PairCount, 0, len(sh.pairs))
-	for k, c := range sh.pairs {
-		if !now.IsZero() {
-			c.Observe(now)
-		}
-		out = append(out, PairCount{Key: k, Count: c.Value()})
+	if cap(buf)-len(buf) < len(sh.slots) {
+		grown := make([]PairCount, len(buf), len(buf)+len(sh.slots))
+		copy(grown, buf)
+		buf = grown
 	}
-	return out
+	if now.IsZero() {
+		for k, slot := range sh.slots {
+			buf = append(buf, PairCount{Key: k, Count: sh.arena.Value(slot)})
+		}
+		return buf
+	}
+	for k, slot := range sh.slots {
+		buf = append(buf, PairCount{Key: k, Count: sh.arena.ValueAt(slot, now)})
+	}
+	return buf
 }

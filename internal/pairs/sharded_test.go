@@ -29,10 +29,10 @@ func randomStream(seed int64, docs, vocab, maxTags int) [][]string {
 
 func sortedKeys(keys []Key) []Key {
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Tag1 != keys[j].Tag1 {
-			return keys[i].Tag1 < keys[j].Tag1
+		if keys[i].Tag1() != keys[j].Tag1() {
+			return keys[i].Tag1() < keys[j].Tag1()
 		}
-		return keys[i].Tag2 < keys[j].Tag2
+		return keys[i].Tag2() < keys[j].Tag2()
 	})
 	return keys
 }

@@ -5,39 +5,9 @@ import (
 	"sync"
 	"time"
 
+	"enblogue/internal/intern"
 	"enblogue/internal/window"
 )
-
-// Key identifies an unordered tag pair; Tag1 < Tag2 canonically.
-type Key struct {
-	Tag1, Tag2 string
-}
-
-// MakeKey returns the canonical key for tags a and b.
-func MakeKey(a, b string) Key {
-	if b < a {
-		a, b = b, a
-	}
-	return Key{Tag1: a, Tag2: b}
-}
-
-// Contains reports whether the pair includes tag.
-func (k Key) Contains(tag string) bool { return k.Tag1 == tag || k.Tag2 == tag }
-
-// Other returns the tag paired with the given one, and whether tag is part
-// of the pair at all.
-func (k Key) Other(tag string) (string, bool) {
-	switch tag {
-	case k.Tag1:
-		return k.Tag2, true
-	case k.Tag2:
-		return k.Tag1, true
-	}
-	return "", false
-}
-
-// String renders the pair as "tag1+tag2".
-func (k Key) String() string { return k.Tag1 + "+" + k.Tag2 }
 
 // Config parameterises a Tracker.
 type Config struct {
@@ -74,13 +44,53 @@ func (c *Config) withDefaults() Config {
 	return out
 }
 
+// smallTagSet bounds the document sizes handled by dedupTags' map-free
+// quadratic scan. Nearly every real document has a handful of tags, so the
+// common case allocates nothing at all.
+const smallTagSet = 16
+
 // dedupTags returns tags with empties and duplicates removed, preserving
-// first-seen order; pair generation assumes a set. Shared by the serial,
-// sharded, and distribution trackers so candidate generation stays
-// identical across them — the sharded engine's bit-identical-rankings
-// guarantee depends on it.
+// first-seen order; pair generation assumes a set. When the input is
+// already clean — the overwhelming case — the input slice itself is
+// returned, so callers must treat the result as transient and must not
+// mutate it. Shared by the serial, sharded, and distribution trackers so
+// candidate generation stays identical across them — the sharded engine's
+// bit-identical-rankings guarantee depends on it.
 func dedupTags(tags []string) []string {
-	uniq := tags[:0:0]
+	if len(tags) <= smallTagSet {
+		clean := true
+	check:
+		for i, tag := range tags {
+			if tag == "" {
+				clean = false
+				break
+			}
+			for j := 0; j < i; j++ {
+				if tags[j] == tag {
+					clean = false
+					break check
+				}
+			}
+		}
+		if clean {
+			return tags
+		}
+		uniq := make([]string, 0, len(tags))
+	fill:
+		for _, tag := range tags {
+			if tag == "" {
+				continue
+			}
+			for _, u := range uniq {
+				if u == tag {
+					continue fill
+				}
+			}
+			uniq = append(uniq, tag)
+		}
+		return uniq
+	}
+	uniq := make([]string, 0, len(tags))
 	seen := make(map[string]bool, len(tags))
 	for _, tag := range tags {
 		if tag == "" || seen[tag] {
@@ -92,27 +102,17 @@ func dedupTags(tags []string) []string {
 	return uniq
 }
 
-// forEachCandidatePair invokes fn for every unordered pair of distinct
-// tags from uniq (already deduplicated) of which at least one satisfies
-// isSeed; nil isSeed admits every pair. Shared by the serial and sharded
-// trackers so the candidate rule stays identical across them — another
-// leg of the bit-identical-rankings guarantee.
-func forEachCandidatePair(uniq []string, isSeed func(string) bool, fn func(Key)) {
-	for i := 0; i < len(uniq); i++ {
-		for j := i + 1; j < len(uniq); j++ {
-			if isSeed != nil && !isSeed(uniq[i]) && !isSeed(uniq[j]) {
-				continue
-			}
-			fn(MakeKey(uniq[i], uniq[j]))
-		}
-	}
-}
+// The candidate rule, shared by the serial and sharded trackers (each
+// inlines the double loop to keep its hot path closure-free): every
+// unordered pair of distinct tags from the deduplicated document tag set of
+// which at least one is a seed; a nil predicate admits every pair. The rule
+// must stay identical across trackers — another leg of the
+// bit-identical-rankings guarantee.
 
-// counted pairs an evictable entry with its windowed count and a stable
-// identifier used for deterministic tie-breaking.
+// counted pairs an evictable entry with its windowed count, for
+// deterministic smallest-first eviction.
 type counted[K any] struct {
 	key K
-	id  string
 	v   float64
 }
 
@@ -129,12 +129,12 @@ func evictTarget(maxPairs int) int {
 }
 
 // evictSmallest deletes the entries with the smallest counts (ties broken
-// by id ascending) until at most keep remain, invoking drop for each
-// victim. Every tracker's over-budget eviction routes through here so the
-// ordering stays identical across the serial, sharded, and distribution
-// paths — the sharded engine's bit-identical-rankings guarantee depends on
-// it.
-func evictSmallest[K any](all []counted[K], keep int, drop func(K)) {
+// by less on the keys, ascending) until at most keep remain, invoking drop
+// for each victim. Every tracker's over-budget eviction routes through here
+// so the ordering stays identical across the serial, sharded, and
+// distribution paths — the sharded engine's bit-identical-rankings
+// guarantee depends on it.
+func evictSmallest[K any](all []counted[K], keep int, less func(a, b K) bool, drop func(K)) {
 	if len(all) <= keep {
 		return
 	}
@@ -142,28 +142,44 @@ func evictSmallest[K any](all []counted[K], keep int, drop func(K)) {
 		if all[i].v != all[j].v {
 			return all[i].v < all[j].v
 		}
-		return all[i].id < all[j].id
+		return less(all[i].key, all[j].key)
 	})
 	for _, e := range all[:len(all)-keep] {
 		drop(e.key)
 	}
 }
 
+// keyLess is the eviction tie-break for pair keys: the rendered-string
+// order, computed without rendering (Key.Less).
+func keyLess(a, b Key) bool { return a.Less(b) }
+
 // Tracker maintains windowed co-occurrence counts for candidate tag pairs.
 // Candidates are generated per document: every unordered pair of distinct
 // document tags of which at least one satisfies the seed predicate ("pairs
-// of tags that contain at least one seed tag"). Not safe for concurrent use.
+// of tags that contain at least one seed tag"). Counters live in a shared
+// CounterArena slab rather than one heap object per pair. Not safe for
+// concurrent use.
 type Tracker struct {
 	cfg     Config
-	pairs   map[Key]*window.Counter
+	slots   map[Key]int32
+	arena   *window.CounterArena
 	now     time.Time
 	sinceGC int
+
+	// per-document scratch, reused so steady-state Observe allocates
+	// nothing.
+	ids  []uint32
+	seed []bool
 }
 
 // NewTracker returns a pair tracker with the given configuration.
 func NewTracker(cfg Config) *Tracker {
 	c := cfg.withDefaults()
-	return &Tracker{cfg: c, pairs: make(map[Key]*window.Counter)}
+	return &Tracker{
+		cfg:   c,
+		slots: make(map[Key]int32),
+		arena: window.NewCounterArena(c.Buckets, c.Resolution),
+	}
 }
 
 // Span returns the co-occurrence window span.
@@ -182,84 +198,107 @@ func (tr *Tracker) Observe(t time.Time, tags []string, isSeed func(string) bool)
 		tr.maybeSweep()
 		return
 	}
-	forEachCandidatePair(dedupTags(tags), isSeed, func(k Key) {
-		c, ok := tr.pairs[k]
-		if !ok {
-			c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
-			tr.pairs[k] = c
+	uniq := dedupTags(tags)
+	tr.ids = tr.ids[:0]
+	tr.seed = tr.seed[:0]
+	for _, tag := range uniq {
+		tr.ids = append(tr.ids, intern.Intern(tag))
+		if isSeed != nil {
+			tr.seed = append(tr.seed, isSeed(tag))
 		}
-		c.Inc(t)
-	})
+	}
+	for i := 0; i < len(tr.ids); i++ {
+		for j := i + 1; j < len(tr.ids); j++ {
+			if isSeed != nil && !tr.seed[i] && !tr.seed[j] {
+				continue
+			}
+			tr.inc(KeyFromIDs(tr.ids[i], tr.ids[j]), t)
+		}
+	}
 	tr.maybeSweep()
+}
+
+// inc upserts pair k's arena slot and records the event at time t.
+func (tr *Tracker) inc(k Key, t time.Time) {
+	slot, ok := tr.slots[k]
+	if !ok {
+		slot = tr.arena.Alloc()
+		tr.slots[k] = slot
+	}
+	tr.arena.Inc(slot, t)
 }
 
 func (tr *Tracker) maybeSweep() {
 	tr.sinceGC++
-	if tr.sinceGC < tr.cfg.SweepEvery && len(tr.pairs) <= tr.cfg.MaxPairs {
+	if tr.sinceGC < tr.cfg.SweepEvery && len(tr.slots) <= tr.cfg.MaxPairs {
 		return
 	}
 	tr.sinceGC = 0
-	for k, c := range tr.pairs {
-		c.Observe(tr.now)
-		if c.Value() == 0 {
-			delete(tr.pairs, k)
+	for k, slot := range tr.slots {
+		if tr.arena.ValueAt(slot, tr.now) == 0 {
+			delete(tr.slots, k)
+			tr.arena.Release(slot)
 		}
 	}
-	if len(tr.pairs) <= tr.cfg.MaxPairs {
+	if len(tr.slots) <= tr.cfg.MaxPairs {
 		return
 	}
 	// Still over budget: evict the smallest co-occurrence counts.
-	all := make([]counted[Key], 0, len(tr.pairs))
-	for k, c := range tr.pairs {
-		all = append(all, counted[Key]{k, k.String(), c.Value()})
+	all := make([]counted[Key], 0, len(tr.slots))
+	for k, slot := range tr.slots {
+		all = append(all, counted[Key]{k, tr.arena.Value(slot)})
 	}
-	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), func(k Key) { delete(tr.pairs, k) })
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key) {
+		tr.arena.Release(tr.slots[k])
+		delete(tr.slots, k)
+	})
 }
 
 // Cooccurrence returns the number of windowed documents carrying both tags
 // of the pair.
 func (tr *Tracker) Cooccurrence(k Key) float64 {
-	c, ok := tr.pairs[k]
+	slot, ok := tr.slots[k]
 	if !ok {
 		return 0
 	}
-	c.Observe(tr.now)
-	return c.Value()
+	return tr.arena.ValueAt(slot, tr.now)
 }
 
 // Series returns the per-bucket co-occurrence counts of the pair, oldest
 // first, or nil if the pair is not tracked.
 func (tr *Tracker) Series(k Key) []float64 {
-	c, ok := tr.pairs[k]
+	slot, ok := tr.slots[k]
 	if !ok {
 		return nil
 	}
-	c.Observe(tr.now)
-	return c.Series()
+	tr.arena.Observe(slot, tr.now)
+	return tr.arena.Series(slot)
 }
 
 // ActivePairs returns the number of pairs currently tracked.
-func (tr *Tracker) ActivePairs() int { return len(tr.pairs) }
+func (tr *Tracker) ActivePairs() int { return len(tr.slots) }
 
 // Keys returns all tracked pair keys in unspecified order. The slice is
 // freshly allocated.
 func (tr *Tracker) Keys() []Key {
-	out := make([]Key, 0, len(tr.pairs))
-	for k := range tr.pairs {
+	out := make([]Key, 0, len(tr.slots))
+	for k := range tr.slots {
 		out = append(out, k)
 	}
 	return out
 }
 
-// KeysSorted returns all tracked pair keys sorted lexicographically, for
-// deterministic iteration in evaluation ticks.
+// KeysSorted returns all tracked pair keys sorted lexicographically by
+// their tag renderings, for deterministic iteration in evaluation ticks.
 func (tr *Tracker) KeysSorted() []Key {
 	out := tr.Keys()
 	sort.Slice(out, func(i, j int) bool {
-		if out[i].Tag1 != out[j].Tag1 {
-			return out[i].Tag1 < out[j].Tag1
+		a1, a2 := out[i].tags()
+		b1, b2 := out[j].tags()
+		if a1 != b1 {
+			return a1 < b1
 		}
-		return out[i].Tag2 < out[j].Tag2
+		return a2 < b2
 	})
 	return out
 }
@@ -328,9 +367,21 @@ func (dt *DistTracker) Observe(t time.Time, tags []string) {
 	}
 }
 
+// distKey addresses one (tag, co-tag) counter for eviction.
+type distKey struct{ tag, co string }
+
+// distKeyLess orders (tag, co) pairs lexicographically — the eviction
+// tie-break for distribution counters.
+func distKeyLess(a, b distKey) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	return a.co < b.co
+}
+
 // sweep drops emptied counters and, if still over the MaxPairs budget,
-// evicts the smallest-count (tag, co-tag) entries first, ties broken by the
-// "tag→co" rendering for determinism. Callers must hold dt.mu.
+// evicts the smallest-count (tag, co-tag) entries first, ties broken by
+// (tag, co) order for determinism. Callers must hold dt.mu.
 func (dt *DistTracker) sweep() {
 	dt.sinceGC = 0
 	for tag, m := range dt.byTag {
@@ -348,16 +399,13 @@ func (dt *DistTracker) sweep() {
 	if dt.counters <= dt.cfg.MaxPairs {
 		return
 	}
-	type distKey struct{ tag, co string }
 	all := make([]counted[distKey], 0, dt.counters)
 	for tag, m := range dt.byTag {
 		for co, c := range m {
-			// "\x00" sorts before any tag byte, so the concatenated id
-			// orders exactly like comparing (tag, co) pairwise.
-			all = append(all, counted[distKey]{distKey{tag, co}, tag + "\x00" + co, c.Value()})
+			all = append(all, counted[distKey]{distKey{tag, co}, c.Value()})
 		}
 	}
-	evictSmallest(all, evictTarget(dt.cfg.MaxPairs), func(k distKey) {
+	evictSmallest(all, evictTarget(dt.cfg.MaxPairs), distKeyLess, func(k distKey) {
 		delete(dt.byTag[k.tag], k.co)
 		if len(dt.byTag[k.tag]) == 0 {
 			delete(dt.byTag, k.tag)
@@ -410,22 +458,31 @@ func (dt *DistTracker) Similarity(a, b string) float64 {
 	da := dt.distributionLocked(a)
 	db := dt.distributionLocked(b)
 	dt.mu.Unlock()
-	delete(da, b)
-	delete(db, a)
-	return similarity(da, db)
+	return similarityExcluding(da, db, b, a)
 }
 
-// similarity is the shared Similarity/SimilarityFrom core. Two empty
+// similarityExcluding is the shared Similarity/SimilarityFrom core: the
+// bounded JS similarity of da (ignoring key exa) and db (ignoring key exb),
+// with neither input map copied or mutated. Two effectively empty
 // distributions mean no usage evidence at all — e.g. both tags' co-tag
 // counters were evicted under memory pressure — and score 0, not the 1.0
 // that "identical (empty) usage" would naively yield: a spurious perfect
 // correlation would register as a large prediction error and fabricate an
 // emergent topic.
-func similarity(da, db map[string]float64) float64 {
-	if len(da) == 0 && len(db) == 0 {
+func similarityExcluding(da, db map[string]float64, exa, exb string) float64 {
+	if lenExcluding(da, exa) == 0 && lenExcluding(db, exb) == 0 {
 		return 0
 	}
-	return 1 - JSDistance(da, db)
+	return 1 - jsDistance(da, db, exa, exb, true)
+}
+
+// lenExcluding returns len(m) not counting key ex.
+func lenExcluding(m map[string]float64, ex string) int {
+	n := len(m)
+	if _, ok := m[ex]; ok {
+		n--
+	}
+	return n
 }
 
 // Snapshot returns every tag's windowed co-tag distribution, advanced to
@@ -442,22 +499,10 @@ func (dt *DistTracker) Snapshot() map[string]map[string]float64 {
 	return out
 }
 
-// copyExcluding returns m without key ex, leaving m untouched (snapshots
-// are shared across workers and must not be mutated).
-func copyExcluding(m map[string]float64, ex string) map[string]float64 {
-	out := make(map[string]float64, len(m))
-	for k, v := range m {
-		if k != ex {
-			out[k] = v
-		}
-	}
-	return out
-}
-
 // SimilarityFrom computes Similarity's result from a Snapshot, with the
-// same partner-exclusion semantics, without locking or mutating the
-// snapshot. Values are identical to calling Similarity on the tracker at
-// snapshot time.
+// same partner-exclusion semantics, without locking, copying, or mutating
+// the snapshot (snapshots are shared across evaluation workers). Values are
+// identical to calling Similarity on the tracker at snapshot time.
 func SimilarityFrom(dists map[string]map[string]float64, a, b string) float64 {
-	return similarity(copyExcluding(dists[a], b), copyExcluding(dists[b], a))
+	return similarityExcluding(dists[a], dists[b], b, a)
 }

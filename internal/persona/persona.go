@@ -77,10 +77,10 @@ func (p *Profile) MatchTag(tag string) bool {
 // Matches counts how many of the topic's two tags match the profile (0-2).
 func (p *Profile) Matches(k pairs.Key) int {
 	n := 0
-	if p.MatchTag(k.Tag1) {
+	if p.MatchTag(k.Tag1()) {
 		n++
 	}
-	if p.MatchTag(k.Tag2) {
+	if p.MatchTag(k.Tag2()) {
 		n++
 	}
 	return n

@@ -90,7 +90,7 @@ func TestRerankExclusiveFilters(t *testing.T) {
 	)
 	p := &Profile{Categories: []string{"volcano"}, Exclusive: true}
 	out := Rerank(in, p)
-	if len(out) != 1 || out[0].Pair.Tag1 != "iceland" {
+	if len(out) != 1 || out[0].Pair.Tag1() != "iceland" {
 		t.Errorf("Exclusive Rerank = %+v, want only volcano topic", out)
 	}
 }
@@ -116,7 +116,7 @@ func TestRerankDeterministicTies(t *testing.T) {
 		Topic{Pair: pairs.MakeKey("a", "b"), Score: 5},
 	)
 	out := Rerank(in, nil)
-	if out[0].Pair.Tag1 != "a" {
+	if out[0].Pair.Tag1() != "a" {
 		t.Errorf("tie order = %+v, want a+b first", out)
 	}
 }
@@ -155,10 +155,10 @@ func TestRerankAll(t *testing.T) {
 		Topic{Pair: pairs.MakeKey("tennis", "final"), Score: 5},
 	)
 	views := r.RerankAll(in)
-	if views["volcano-fan"][0].Pair.Tag2 != "volcano" {
+	if views["volcano-fan"][0].Pair.Tag2() != "volcano" {
 		t.Errorf("volcano-fan view = %+v", views["volcano-fan"])
 	}
-	if views["sports-fan"][0].Pair.Tag1 != "final" {
+	if views["sports-fan"][0].Pair.Tag1() != "final" {
 		t.Errorf("sports-fan view = %+v", views["sports-fan"])
 	}
 }

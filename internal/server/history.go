@@ -76,7 +76,7 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 	out := make([]HistoryEntryView, len(entries))
 	for i, e := range entries {
 		out[i] = HistoryEntryView{
-			Tag1: e.Pair.Tag1, Tag2: e.Pair.Tag2,
+			Tag1: e.Pair.Tag1(), Tag2: e.Pair.Tag2(),
 			Score: e.Score, Ticks: e.Ticks, First: e.First, Last: e.Last,
 		}
 	}

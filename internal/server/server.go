@@ -250,7 +250,7 @@ func toViews(topics []persona.Topic) []TopicView {
 	out := make([]TopicView, len(topics))
 	for i, t := range topics {
 		out[i] = TopicView{
-			Rank: i + 1, Tag1: t.Pair.Tag1, Tag2: t.Pair.Tag2, Score: t.Score,
+			Rank: i + 1, Tag1: t.Pair.Tag1(), Tag2: t.Pair.Tag2(), Score: t.Score,
 		}
 	}
 	return out
@@ -275,8 +275,8 @@ func (s *Server) PublishRanking(r core.Ranking) {
 	for i, t := range r.Topics {
 		view.Topics = append(view.Topics, TopicView{
 			Rank:         i + 1,
-			Tag1:         t.Pair.Tag1,
-			Tag2:         t.Pair.Tag2,
+			Tag1:         t.Pair.Tag1(),
+			Tag2:         t.Pair.Tag2(),
 			Score:        t.Score,
 			Correlation:  t.Correlation,
 			Cooccurrence: t.Cooccurrence,
@@ -296,7 +296,7 @@ func (s *Server) PublishRanking(r core.Ranking) {
 	view.Moves = rank.Diff(s.prevIDs, cur)
 	for _, a := range s.watcher.Observe(r.At, ptopics) {
 		view.Alerts = append(view.Alerts, AlertView{
-			User: a.User, Tag1: a.Pair.Tag1, Tag2: a.Pair.Tag2,
+			User: a.User, Tag1: a.Pair.Tag1(), Tag2: a.Pair.Tag2(),
 			Rank: a.Rank, Score: a.Score,
 		})
 	}

@@ -42,8 +42,8 @@ func rankingToView(r core.Ranking) RankingView {
 	for i, t := range r.Topics {
 		view.Topics = append(view.Topics, TopicView{
 			Rank:         i + 1,
-			Tag1:         t.Pair.Tag1,
-			Tag2:         t.Pair.Tag2,
+			Tag1:         t.Pair.Tag1(),
+			Tag2:         t.Pair.Tag2(),
 			Score:        t.Score,
 			Correlation:  t.Correlation,
 			Cooccurrence: t.Cooccurrence,
@@ -94,8 +94,8 @@ func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
 		orig := byPair[pt.Pair]
 		out[i] = TopicView{
 			Rank:         i + 1,
-			Tag1:         pt.Pair.Tag1,
-			Tag2:         pt.Pair.Tag2,
+			Tag1:         pt.Pair.Tag1(),
+			Tag2:         pt.Pair.Tag2(),
 			Score:        pt.Score,
 			Correlation:  orig.Correlation,
 			Cooccurrence: orig.Cooccurrence,

@@ -71,10 +71,11 @@ type Topic struct {
 	Warmup bool
 }
 
-// state is the per-pair incremental detector state.
+// state is the per-pair incremental detector state. Decay is embedded by
+// value so a new pair costs one state allocation, not two.
 type state struct {
 	pred  predict.Predictor
-	decay *window.Decay
+	decay window.Decay
 	seen  time.Time
 }
 
@@ -138,7 +139,7 @@ func (d *Detector) EvaluateCorrelation(t time.Time, k pairs.Key, corr, nab float
 	if !ok {
 		st = &state{
 			pred:  predict.New(d.cfg.Predictor, d.cfg.PredictorConfig),
-			decay: window.NewDecay(d.cfg.HalfLife),
+			decay: window.MakeDecay(d.cfg.HalfLife),
 		}
 		d.states[k] = st
 	}
@@ -208,6 +209,22 @@ func (d *Detector) Forget(k pairs.Key) { delete(d.states, k) }
 func (d *Detector) Sweep(t time.Time, keep map[pairs.Key]bool, minScore float64) {
 	for k, st := range d.states {
 		if keep != nil && keep[k] {
+			continue
+		}
+		if st.decay.At(t) < minScore {
+			delete(d.states, k)
+		}
+	}
+}
+
+// SweepStale is Sweep without the keep set: it drops state for pairs that
+// were not evaluated at tick time t (their seen stamp predates t) and whose
+// decayed score has fallen below minScore. An engine that has just
+// evaluated a snapshot at t gets exactly Sweep's keep-map semantics — every
+// evaluated pair carries seen == t — without building a keep set per tick.
+func (d *Detector) SweepStale(t time.Time, minScore float64) {
+	for k, st := range d.states {
+		if st.seen.Equal(t) {
 			continue
 		}
 		if st.decay.At(t) < minScore {

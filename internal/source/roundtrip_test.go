@@ -124,7 +124,7 @@ func TestArchiveCoversAllEventPairs(t *testing.T) {
 		}
 		for k := range truth {
 			// k is a pairs.Key; check both tags present.
-			if has[k.Tag1] && has[k.Tag2] {
+			if has[k.Tag1()] && has[k.Tag2()] {
 				covered[k.String()] = true
 			}
 		}

@@ -103,6 +103,13 @@ func (tr *Tracker) Span() time.Duration {
 	return time.Duration(tr.cfg.Buckets) * tr.cfg.Resolution
 }
 
+// smallTagSet bounds the document sizes deduplicated by quadratic scan
+// instead of a per-document map — nearly every real document qualifies, so
+// the steady-state Observe allocates nothing. pairs.dedupTags applies the
+// same idiom with its own constant; the two paths count/pair the same tag
+// sets today, so keep their empty-tag and duplicate rules in sync.
+const smallTagSet = 16
+
 // Observe records one document with the given tag set at time t. Duplicate
 // tags within one document are counted once.
 func (tr *Tracker) Observe(t time.Time, tags []string) {
@@ -110,23 +117,43 @@ func (tr *Tracker) Observe(t time.Time, tags []string) {
 		tr.now = t
 	}
 	tr.docs.Inc(t)
-	seen := make(map[string]bool, len(tags))
-	for _, tag := range tags {
-		if tag == "" || seen[tag] {
-			continue
+	if len(tags) <= smallTagSet {
+	small:
+		for i, tag := range tags {
+			if tag == "" {
+				continue
+			}
+			for j := 0; j < i; j++ {
+				if tags[j] == tag {
+					continue small
+				}
+			}
+			tr.inc(tag, t)
 		}
-		seen[tag] = true
-		c, ok := tr.tags[tag]
-		if !ok {
-			c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
-			tr.tags[tag] = c
+	} else {
+		seen := make(map[string]bool, len(tags))
+		for _, tag := range tags {
+			if tag == "" || seen[tag] {
+				continue
+			}
+			seen[tag] = true
+			tr.inc(tag, t)
 		}
-		c.Inc(t)
 	}
 	tr.sinceGC++
 	if tr.sinceGC >= tr.cfg.SweepEvery {
 		tr.sweep()
 	}
+}
+
+// inc upserts tag's counter and records one document at time t.
+func (tr *Tracker) inc(tag string, t time.Time) {
+	c, ok := tr.tags[tag]
+	if !ok {
+		c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
+		tr.tags[tag] = c
+	}
+	c.Inc(t)
 }
 
 // sweep evicts tags whose windows have emptied, bounding memory to the tags
@@ -171,6 +198,20 @@ func (tr *Tracker) Counts() map[string]float64 {
 		}
 	}
 	return out
+}
+
+// ForEachCount invokes fn for every tracked tag with a positive windowed
+// count, advanced to the tracker clock, in unspecified order. It is the
+// allocation-free form of Counts: the sharded engine rebuilds its reusable
+// per-tick count index through it instead of materialising a fresh map
+// every tick.
+func (tr *Tracker) ForEachCount(fn func(tag string, n float64)) {
+	for tag, c := range tr.tags {
+		c.Observe(tr.now)
+		if v := c.Value(); v > 0 {
+			fn(tag, v)
+		}
+	}
 }
 
 // Popularity returns the sliding-window popularity of tag: the fraction of
@@ -289,16 +330,21 @@ type SeedSelector struct {
 	mu      sync.RWMutex
 	current map[string]bool
 	ordered []string
+	// fn is the cached predicate closed over current; rebuilt once per
+	// Reselect so the per-document Func call allocates no closure.
+	fn func(string) bool
 }
 
 // NewSeedSelector returns a selector for the top-k tags under crit with the
 // given minimum windowed count.
 func NewSeedSelector(k int, crit Criterion, minCount float64) *SeedSelector {
+	current := make(map[string]bool)
 	return &SeedSelector{
 		K:         k,
 		Criterion: crit,
 		MinCount:  minCount,
-		current:   make(map[string]bool),
+		current:   current,
+		fn:        func(tag string) bool { return current[tag] },
 	}
 }
 
@@ -315,6 +361,7 @@ func (s *SeedSelector) Reselect(tr *Tracker) []string {
 	s.mu.Lock()
 	s.current = current
 	s.ordered = ordered
+	s.fn = func(tag string) bool { return current[tag] }
 	s.mu.Unlock()
 	return ordered
 }
@@ -328,12 +375,14 @@ func (s *SeedSelector) IsSeed(tag string) bool {
 
 // Func returns a predicate closed over the current seed set snapshot. Hot
 // paths that test many tags per document (pair candidate generation) should
-// grab one Func per document instead of paying a lock per IsSeed call.
+// grab one Func per document instead of paying a lock per IsSeed call. The
+// closure is cached per Reselect, so calling Func per document allocates
+// nothing.
 func (s *SeedSelector) Func() func(string) bool {
 	s.mu.RLock()
-	m := s.current
+	fn := s.fn
 	s.mu.RUnlock()
-	return func(tag string) bool { return m[tag] }
+	return fn
 }
 
 // Seeds returns the current ordered seed set. Callers must not mutate it.

@@ -1,0 +1,164 @@
+package window
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// CounterArena is a slab allocator for unit-weight sliding-window counters:
+// the state of every counter lives in a handful of shared backing slices
+// (one bucket slab plus per-slot headers) instead of one heap object per
+// counter. A tracker shard that follows a hundred thousand pairs holds one
+// CounterArena, not a hundred thousand *Counter allocations — better cache
+// locality on the tick-time scan over all slots, and near-zero GC scanning
+// (the slabs contain no pointers).
+//
+// Each slot reproduces Counter/TimeBuckets semantics exactly for unit
+// increments: Inc credits the bucket containing t, buckets older than the
+// span are lazily zeroed as time advances, increments older than the window
+// are dropped. Because every increment adds exactly 1.0, the running total
+// stays exact (float64 is exact for integers up to 2^53) and no separate
+// event count is needed.
+//
+// Slots are fixed-size, so freed slots are recycled through a free list.
+// Not safe for concurrent use; callers shard and lock around it.
+type CounterArena struct {
+	res      time.Duration
+	nbuckets int
+	buckets  []float64 // slot i owns buckets[i*nbuckets : (i+1)*nbuckets]
+	heads    []int64   // absolute bucket index of the window head per slot
+	totals   []float64 // sum of in-window buckets per slot
+	free     []int32   // recycled slot indexes
+}
+
+// headUnset marks a slot whose window head has not been initialised.
+const headUnset = math.MinInt64
+
+// NewCounterArena returns an arena of sliding counters with the given
+// bucket count and resolution. It panics on non-positive parameters, which
+// indicate a programming error.
+func NewCounterArena(nbuckets int, resolution time.Duration) *CounterArena {
+	if nbuckets < 1 {
+		panic(fmt.Sprintf("window: bucket count %d < 1", nbuckets))
+	}
+	if resolution <= 0 {
+		panic(fmt.Sprintf("window: resolution %v <= 0", resolution))
+	}
+	return &CounterArena{res: resolution, nbuckets: nbuckets}
+}
+
+// Buckets returns the per-counter bucket count.
+func (a *CounterArena) Buckets() int { return a.nbuckets }
+
+// Span returns the window span covered by each counter.
+func (a *CounterArena) Span() time.Duration {
+	return time.Duration(a.nbuckets) * a.res
+}
+
+// Len returns the number of live slots.
+func (a *CounterArena) Len() int { return len(a.heads) - len(a.free) }
+
+// Alloc returns a fresh zeroed counter slot.
+func (a *CounterArena) Alloc() int32 {
+	if n := len(a.free); n > 0 {
+		slot := a.free[n-1]
+		a.free = a.free[:n-1]
+		base := int(slot) * a.nbuckets
+		clear(a.buckets[base : base+a.nbuckets])
+		a.heads[slot] = headUnset
+		a.totals[slot] = 0
+		return slot
+	}
+	slot := int32(len(a.heads))
+	a.buckets = append(a.buckets, make([]float64, a.nbuckets)...)
+	a.heads = append(a.heads, headUnset)
+	a.totals = append(a.totals, 0)
+	return slot
+}
+
+// Release returns a slot to the free list. The slot must not be used again
+// until re-issued by Alloc.
+func (a *CounterArena) Release(slot int32) {
+	a.free = append(a.free, slot)
+}
+
+// bucketIndex maps a timestamp to its absolute bucket number.
+func (a *CounterArena) bucketIndex(t time.Time) int64 {
+	return t.UnixNano() / int64(a.res)
+}
+
+// advance moves slot's window head to cover abs, zeroing buckets that fall
+// out of the window — the arena transcription of TimeBuckets.advance.
+func (a *CounterArena) advance(slot int32, abs int64) {
+	head := a.heads[slot]
+	if head == headUnset {
+		a.heads[slot] = abs
+		return
+	}
+	if abs <= head {
+		return
+	}
+	n := int64(a.nbuckets)
+	base := int(slot) * a.nbuckets
+	if abs-head >= n {
+		clear(a.buckets[base : base+a.nbuckets])
+		a.totals[slot] = 0
+		a.heads[slot] = abs
+		return
+	}
+	total := a.totals[slot]
+	for b := head + 1; b <= abs; b++ {
+		i := base + int(mod(b, n))
+		total -= a.buckets[i]
+		a.buckets[i] = 0
+	}
+	a.totals[slot] = total
+	a.heads[slot] = abs
+}
+
+// Inc records one event at time t in the slot. Events older than the
+// current window are dropped; newer events advance the window.
+func (a *CounterArena) Inc(slot int32, t time.Time) {
+	abs := a.bucketIndex(t)
+	a.advance(slot, abs)
+	if abs <= a.heads[slot]-int64(a.nbuckets) {
+		return // too old: outside the window
+	}
+	a.buckets[int(slot)*a.nbuckets+int(mod(abs, int64(a.nbuckets)))]++
+	a.totals[slot]++
+}
+
+// Observe advances the slot's window to time t without recording anything,
+// expiring stale buckets.
+func (a *CounterArena) Observe(slot int32, t time.Time) {
+	a.advance(slot, a.bucketIndex(t))
+}
+
+// Value returns the number of events inside the slot's window, as last
+// advanced. Call Observe first to expire stale buckets.
+func (a *CounterArena) Value(slot int32) float64 { return a.totals[slot] }
+
+// ValueAt advances the slot's window to t and returns the in-window count:
+// the common Observe+Value read.
+func (a *CounterArena) ValueAt(slot int32, t time.Time) float64 {
+	a.advance(slot, a.bucketIndex(t))
+	return a.totals[slot]
+}
+
+// Series returns the slot's per-bucket counts oldest-first. The slice is
+// freshly allocated (Series is a boundary read, not a hot-path one).
+func (a *CounterArena) Series(slot int32) []float64 {
+	out := make([]float64, a.nbuckets)
+	head := a.heads[slot]
+	if head == headUnset {
+		return out
+	}
+	n := int64(a.nbuckets)
+	base := int(slot) * a.nbuckets
+	for i := int64(0); i < n; i++ {
+		b := head - (n - 1) + i
+		out[i] = a.buckets[base+int(mod(b, n))]
+	}
+	return out
+}

@@ -240,28 +240,40 @@ type Decay struct {
 // NewDecay returns a decaying value with the given half-life. It panics if
 // halfLife <= 0.
 func NewDecay(halfLife time.Duration) *Decay {
+	d := MakeDecay(halfLife)
+	return &d
+}
+
+// MakeDecay returns a decaying value by value, for embedding directly in a
+// larger struct (one allocation for the struct instead of one per Decay).
+// It panics if halfLife <= 0.
+func MakeDecay(halfLife time.Duration) Decay {
 	if halfLife <= 0 {
 		panic(fmt.Sprintf("window: half-life %v <= 0", halfLife))
 	}
-	return &Decay{halfLife: halfLife}
+	return Decay{halfLife: halfLife}
 }
 
 // HalfLife returns the configured half-life.
 func (d *Decay) HalfLife() time.Duration { return d.halfLife }
 
-// factor returns the decay multiplier for elapsed duration dt.
+// factor returns the decay multiplier for elapsed duration dt. The
+// exponent divides the raw nanosecond counts directly — one division
+// instead of two Seconds() conversions; the ratio is the same quantity.
 func (d *Decay) factor(dt time.Duration) float64 {
 	if dt <= 0 {
 		return 1
 	}
-	return math.Exp2(-dt.Seconds() / d.halfLife.Seconds())
+	return math.Exp2(-float64(dt) / float64(d.halfLife))
 }
 
 // At returns the decayed value as of time t without modifying state.
 // Times before the last update return the stored value undecayed (the decay
-// never "rewinds").
+// never "rewinds"). A zero stored value short-circuits: the evaluation tick
+// calls At once per tracked pair, and pairs that never erred skip the
+// exponential entirely.
 func (d *Decay) At(t time.Time) float64 {
-	if !d.set {
+	if !d.set || d.value == 0 {
 		return 0
 	}
 	return d.value * d.factor(t.Sub(d.at))

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# bench.sh — run the throughput benchmarks and record the results as
+# BENCH_<date>.json at the repo root, building the benchmark trajectory the
+# ROADMAP calls for. CI runs this and uploads the JSON as an artifact;
+# numbers quoted in README.md come from these files.
+#
+# Usage:
+#   scripts/bench.sh [bench-regexp]          # default: BenchmarkThroughput
+#   BENCHTIME=2s scripts/bench.sh            # longer measurement window
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+bench="${1:-BenchmarkThroughput}"
+out="BENCH_$(date -u +%F).json"
+# Never clobber an existing (possibly committed, possibly hand-annotated)
+# record: same-day reruns get a time-suffixed file instead.
+if [ -e "$out" ]; then
+  out="BENCH_$(date -u +%F_%H%M%S).json"
+fi
+
+raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "${BENCHTIME:-1s}" .)"
+printf '%s\n' "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "date": "%s",\n' "$(date -u +%FT%TZ)"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "cpu": %s,\n' "$(printf '%s\n' "$raw" | awk -F': ' '/^cpu:/ {printf "\"%s\"", $2; found=1} END {if (!found) printf "\"unknown\""}')"
+  printf '  "benchmarks": [\n'
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+      # Remaining fields come in value-unit pairs (ns/op, docs/s, B/op, ...).
+      for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[^A-Za-z0-9]+/, "_", unit)
+        printf ", \"%s\": %s", unit, $i
+      }
+      printf "}"
+      sep = ",\n"
+    }
+    END { print "" }
+  '
+  printf '  ]\n}\n'
+} > "$out"
+
+echo "wrote $out" >&2
