@@ -3,18 +3,30 @@
 // pushed to browsers over Server-Sent Events — the paper's APE-based
 // front-end on stdlib HTTP, behind the versioned /v1 wire contract.
 //
+// The process is a multi-tenant hub: the replay feeds the "default"
+// tenant, and any number of additional named topic streams run beside it —
+// bootstrapped with -tenants or created over the wire — each with its own
+// rankings, SSE stream, profiles, history, and a JSONL ingest endpoint.
+//
 // Usage:
 //
-//	enblogue-server -addr :8080 -speedup 600
+//	enblogue-server -addr :8080 -speedup 600 -tenants eu,us
 //
 // then open http://localhost:8080/ (the page updates without polling).
+// Tenant-scoped usage:
+//
+//	curl -X POST localhost:8080/v1/tenants -d '{"name":"mine"}'
+//	curl -X POST localhost:8080/v1/tenants/mine/items --data-binary @docs.jsonl
+//	curl -N localhost:8080/v1/tenants/mine/stream
+//
 // Register a personalization profile and stream its private view with:
 //
 //	curl -X POST localhost:8080/v1/profiles -d '{"name":"me","keywords":["volcano"]}'
 //	curl -N localhost:8080/v1/stream?profile=me
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests drain, the
-// replay stops, and every subscription channel closes.
+// replay stops, every tenant engine closes, and every subscription channel
+// ends.
 package main
 
 import (
@@ -25,6 +37,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,11 +47,19 @@ import (
 	"enblogue/internal/source"
 )
 
+// hubOpener adapts the public hub to the server's tenant engine factory,
+// so POST /v1/tenants and DELETE /v1/tenants/{name} work over the wire.
+type hubOpener struct{ hub *enblogue.Hub }
+
+func (o hubOpener) Open(name string) (server.Engine, error) { return o.hub.Open(name) }
+func (o hubOpener) CloseTenant(name string) bool            { return o.hub.CloseTenant(name) }
+
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	speedup := flag.Float64("speedup", 600, "time-lapse factor (event time / wall time)")
 	shards := flag.Int("shards", 0, "engine shards (0: one per CPU; rankings are shard-count independent)")
-	historyTicks := flag.Int("history", 10000, "ranking history length in ticks")
+	historyTicks := flag.Int("history", 10000, "ranking history length in ticks (default tenant; others get the same)")
+	tenants := flag.String("tenants", "", "comma-separated tenant names to bootstrap beside the default replay tenant")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -46,7 +67,7 @@ func main() {
 
 	// The demo stream merges the tweet and feed wrappers over the same
 	// scripted scenario; data generation is the only internal dependency
-	// left here — the engine and its wiring are all public API.
+	// left here — the hub, engines, and their wiring are all public API.
 	span := 48 * time.Hour
 	docs := source.Merge(
 		source.GenerateTweets(source.TweetConfig{
@@ -62,7 +83,9 @@ func main() {
 		items[i] = docs[i].Item()
 	}
 
-	engine := enblogue.New(
+	// One hub hosts every tenant. The flags become hub-wide defaults, so
+	// tenants created over the wire inherit them too.
+	hub := enblogue.NewHub(enblogue.HubDefaults(
 		enblogue.WithWindow(24, time.Hour),
 		enblogue.WithTickEvery(time.Hour),
 		enblogue.WithSeedCount(30),
@@ -70,11 +93,39 @@ func main() {
 		enblogue.WithTopK(10),
 		enblogue.WithUpOnly(),
 		enblogue.WithShards(*shards),
-	)
+	))
+
+	engine, err := hub.Open(server.DefaultTenant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "enblogue-server: %v\n", err)
+		os.Exit(1)
+	}
 
 	srv := server.New()
+	srv.SetTenantHistoryTicks(*historyTicks)
 	srv.AttachHistory(history.New(*historyTicks))
+	srv.AttachOpener(hubOpener{hub})
 	srv.Follow(engine) // broker subscription feeds SSE, history, personas
+
+	// Bootstrap the extra tenants: empty engines, live immediately, fed
+	// over POST /v1/tenants/{name}/items.
+	var extra []string
+	for _, name := range strings.Split(*tenants, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" || name == server.DefaultTenant {
+			continue
+		}
+		e, err := hub.Open(name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "enblogue-server: tenant %q: %v\n", name, err)
+			os.Exit(1)
+		}
+		if err := srv.FollowTenant(name, e); err != nil {
+			fmt.Fprintf(os.Stderr, "enblogue-server: tenant %q: %v\n", name, err)
+			os.Exit(1)
+		}
+		extra = append(extra, name)
+	}
 
 	go func() {
 		if err := engine.Run(ctx, enblogue.Replay(items, *speedup)); err != nil {
@@ -127,19 +178,19 @@ func main() {
 		defer close(shutdownDone)
 		<-ctx.Done()
 		fmt.Println("\nenblogue-server: shutting down")
-		// Close the broker and the server context first: per-profile SSE
+		// Close the server context and the hub first: per-profile SSE
 		// handlers end when their subscription channels close, broadcast
-		// SSE handlers end on the server context — so Shutdown can drain
+		// SSE handlers end on the tenant contexts — so Shutdown can drain
 		// the remaining requests instead of timing out on parked streams.
 		srv.Close()
-		engine.Close()
+		hub.Close() // closes every tenant engine, default included
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = httpSrv.Shutdown(shutdownCtx) // drain in-flight requests
 	}()
 
-	fmt.Printf("enblogue-server: %d docs looping at %.0fx over %d shards; listening on %s\n",
-		len(items), *speedup, engine.Shards(), *addr)
+	fmt.Printf("enblogue-server: %d docs looping at %.0fx over %d shards; tenants %v; listening on %s\n",
+		len(items), *speedup, engine.Shards(), append([]string{server.DefaultTenant}, extra...), *addr)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "enblogue-server: %v\n", err)
 		os.Exit(1)

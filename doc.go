@@ -38,12 +38,22 @@
 // consumer always converges on the newest ranking and can never stall the
 // engine or its sibling subscribers.
 //
+// One process can host many independent topic streams through a Hub of
+// named tenants — one per community, feed, language, or customer. Each
+// tenant is a full Engine layering its own options over hub-wide defaults
+// (create-or-get Open, CloseTenant, hub-wide Flush/Close, aggregate
+// Stats); tenants share only the process-wide tag intern table, a memory
+// optimisation that never affects rankings, so a tenant's output is
+// bit-identical to a standalone engine fed the same items. The HTTP
+// front-end mirrors the hub as the tenant-scoped /v1/tenants wire
+// contract; see DESIGN.md §7.
+//
 // The implementation lives under internal/: the core engine and
 // subscription broker in internal/core, one package per substrate (stream
 // DAG, windows, sketches, tag statistics, pair correlation, prediction,
 // shift scoring, ranking, entity tagging, personalization, burst-detection
 // baseline, data sources, metrics, versioned HTTP front-end), runnable
-// binaries under cmd/, and runnable examples under examples/ — all five
+// binaries under cmd/, and runnable examples under examples/ — all the
 // examples use only this public package. The benchmarks in bench_test.go
 // regenerate every evaluation artifact of the paper; see DESIGN.md.
 //

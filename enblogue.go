@@ -115,7 +115,9 @@ type Engine struct {
 // New returns an engine configured by the given options. With no options
 // it uses the paper's defaults: Jaccard correlation, moving-average
 // prediction, 2-day half-life, hourly ticks over a 48-hour window, one
-// shard per available CPU.
+// shard per available CPU. Nonsensical options are clamped to those
+// defaults rather than building a wedged engine. To host many named
+// engines in one process, open them as tenants of a Hub instead.
 func New(opts ...Option) *Engine {
 	var cfg core.Config
 	for _, o := range opts {

@@ -1,0 +1,90 @@
+package enblogue
+
+import (
+	"enblogue/internal/core"
+)
+
+// Hub is the multi-tenant entry point: one process hosting many named,
+// fully independent topic streams — one per community, feed, language, or
+// customer — each a complete *Engine. Tenants share nothing except the
+// process-wide tag intern table (pure memory reuse; rankings never depend
+// on it), so a tenant's ranking stream is bit-identical to a standalone
+// engine fed the same items.
+//
+// A Hub is configured by hub-level options (NewHub), which set engine
+// defaults for every tenant and hub-wide limits; Open layers per-tenant
+// engine options over those defaults. All methods are safe for concurrent
+// use.
+type Hub struct {
+	core *core.Hub
+}
+
+// HubStats aggregates engine counters across a hub's open tenants.
+type HubStats = core.HubStats
+
+// NewHub returns an empty hub configured by the given hub-level options.
+func NewHub(opts ...HubOption) *Hub {
+	var cfg core.HubConfig
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return &Hub{core: core.NewHub(cfg)}
+}
+
+// ValidateTenantName reports whether name is usable as a tenant name: 1–64
+// characters drawn from letters, digits, '.', '_' and '-' — exactly the
+// names addressable under the server's /v1/tenants/{name} routes.
+func ValidateTenantName(name string) error { return core.ValidateTenantName(name) }
+
+// Open returns the named tenant's engine, creating it on first use
+// (create-or-get). A new tenant's configuration is the hub's defaults with
+// the given engine options applied on top; for an existing tenant the
+// options are ignored — the first Open wins, so concurrent racers agree on
+// one engine. Tenant names are validated with ValidateTenantName.
+func (h *Hub) Open(name string, opts ...Option) (*Engine, error) {
+	mutate := make([]func(*core.Config), len(opts))
+	for i, o := range opts {
+		mutate[i] = o
+	}
+	ce, err := h.core.Open(name, mutate...)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{core: ce}, nil
+}
+
+// Get returns the named tenant's engine without creating it.
+func (h *Hub) Get(name string) (*Engine, bool) {
+	ce, ok := h.core.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return &Engine{core: ce}, true
+}
+
+// List returns the open tenant names, sorted.
+func (h *Hub) List() []string { return h.core.List() }
+
+// Len returns the number of open tenants.
+func (h *Hub) Len() int { return h.core.Len() }
+
+// CloseTenant removes the named tenant and closes its engine (draining
+// in-flight ranking deliveries and closing every subscription channel),
+// reporting whether it existed. Flush the engine first if its final partial
+// tick should still reach subscribers.
+func (h *Hub) CloseTenant(name string) bool { return h.core.CloseTenant(name) }
+
+// Flush flushes every open tenant: each runs a final evaluation tick at its
+// own last observed event time and blocks until its published rankings have
+// been delivered.
+func (h *Hub) Flush() { h.core.Flush() }
+
+// Close closes every tenant's engine and marks the hub closed: subsequent
+// Opens fail. Call Flush first if final partial ticks should still be
+// delivered. Idempotent.
+func (h *Hub) Close() { h.core.Close() }
+
+// Stats returns hub-wide aggregate counters.
+func (h *Hub) Stats() HubStats { return h.core.Stats() }

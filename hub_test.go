@@ -1,0 +1,161 @@
+// Acceptance tests of the multi-tenant Hub: a tenant engine is a full
+// engine, so its ranking stream must be bit-identical to a standalone
+// enblogue.New engine fed the same item sequence — for every scenario and
+// shard count, with other tenants active in the same hub.
+package enblogue_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"enblogue"
+)
+
+// runEngine drains items through e and returns every delivered ranking.
+func runEngine(t *testing.T, e *enblogue.Engine, items enblogue.Items) []enblogue.Ranking {
+	t.Helper()
+	sub := e.Subscribe(context.Background(), enblogue.SubBuffer(8192))
+	if err := e.Run(context.Background(), items); err != nil {
+		t.Fatal(err)
+	}
+	e.Flush()
+	var out []enblogue.Ranking
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range sub.Rankings() {
+			out = append(out, r)
+		}
+	}()
+	sub.Close()
+	<-done
+	if sub.Dropped() != 0 {
+		t.Fatalf("dropped %d frames with a huge buffer", sub.Dropped())
+	}
+	return out
+}
+
+// scenarioOptions tunes the engines down to test scale; shards varies per
+// subtest.
+func scenarioOptions(shards int) []enblogue.Option {
+	return []enblogue.Option{
+		enblogue.WithWindow(12, time.Hour),
+		enblogue.WithSeedCount(15),
+		enblogue.WithSeedMinCount(2),
+		enblogue.WithSeedWarmup(30),
+		enblogue.WithMinCooccurrence(2),
+		enblogue.WithTopK(10),
+		enblogue.WithShards(shards),
+	}
+}
+
+// Acceptance: for each scenario and shard count, a hub tenant's rankings
+// are bit-identical to a standalone engine fed the same items — while a
+// second tenant in the same hub concurrently consumes the OTHER scenario.
+func TestHubTenantBitIdenticalToStandalone(t *testing.T) {
+	tweets, _ := enblogue.TweetScenario(12 * time.Hour)
+	archive, _ := enblogue.ArchiveScenario(time.Date(2007, 8, 1, 0, 0, 0, 0, time.UTC), 5)
+	scenarios := []struct {
+		name  string
+		items enblogue.Items
+		other enblogue.Items
+	}{
+		{"tweets", tweets, archive},
+		{"archive", archive, tweets},
+	}
+	for _, sc := range scenarios {
+		for _, shards := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/shards-%d", sc.name, shards), func(t *testing.T) {
+				standalone := enblogue.New(scenarioOptions(shards)...)
+				want := runEngine(t, standalone, sc.items)
+				standalone.Close()
+				if len(want) == 0 {
+					t.Fatal("standalone run produced no rankings")
+				}
+
+				hub := enblogue.NewHub(enblogue.HubDefaults(scenarioOptions(shards)...))
+				defer hub.Close()
+				tenant, err := hub.Open("subject")
+				if err != nil {
+					t.Fatal(err)
+				}
+				noise, err := hub.Open("noise")
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The noise tenant runs the other scenario concurrently: a
+				// tenant's rankings must not depend on its neighbours.
+				var wg sync.WaitGroup
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					_ = noise.Run(context.Background(), sc.other)
+				}()
+				got := runEngine(t, tenant, sc.items)
+				wg.Wait()
+
+				if !reflect.DeepEqual(got, want) {
+					if len(got) != len(want) {
+						t.Fatalf("shards=%d: %d tenant ticks vs %d standalone",
+							shards, len(got), len(want))
+					}
+					for i := range got {
+						if !reflect.DeepEqual(got[i], want[i]) {
+							t.Fatalf("shards=%d: tick %d differs:\ntenant:     %+v\nstandalone: %+v",
+								shards, i, got[i], want[i])
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func TestPublicHubOptionLayering(t *testing.T) {
+	hub := enblogue.NewHub(
+		enblogue.HubDefaults(enblogue.WithTopK(7), enblogue.WithShards(2)),
+		enblogue.HubMaxTenants(2),
+	)
+	defer hub.Close()
+
+	a, err := hub.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Shards() != 2 {
+		t.Errorf("hub default shards not applied: %d", a.Shards())
+	}
+	// Tenant-level option overrides the hub default.
+	b, err := hub.Open("b", enblogue.WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Shards() != 4 {
+		t.Errorf("tenant override not applied: %d shards", b.Shards())
+	}
+	if _, err := hub.Open("c"); err == nil {
+		t.Error("HubMaxTenants(2) admitted a third tenant")
+	}
+	if got := hub.List(); !reflect.DeepEqual(got, []string{"a", "b"}) {
+		t.Errorf("List = %v", got)
+	}
+	if _, ok := hub.Get("a"); !ok {
+		t.Error("Get(a) = false")
+	}
+	if err := enblogue.ValidateTenantName("a/b"); err == nil {
+		t.Error("ValidateTenantName accepted a slash")
+	}
+	if !hub.CloseTenant("a") || hub.CloseTenant("a") {
+		t.Error("CloseTenant not reporting existence correctly")
+	}
+	if hub.Len() != 1 {
+		t.Errorf("Len = %d", hub.Len())
+	}
+	if s := hub.Stats(); s.Tenants != 1 {
+		t.Errorf("Stats = %+v", s)
+	}
+}

@@ -116,7 +116,13 @@ type Config struct {
 	OnRanking func(Ranking)
 }
 
-func (c Config) withDefaults() Config {
+// normalize is the single place nonsensical configurations are repaired:
+// zero and negative settings fall back to the paper's defaults, and
+// mutually wedging combinations are clamped (a pair budget smaller than the
+// seed set could evict every candidate the moment it is tracked). Both New
+// and Hub.Open build engines exclusively from normalized configs, so no
+// construction path can yield an engine that cannot tick.
+func (c Config) normalize() Config {
 	if c.WindowBuckets <= 0 {
 		c.WindowBuckets = 48
 	}
@@ -137,6 +143,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPairs <= 0 {
 		c.MaxPairs = 100000
+	}
+	if c.MaxPairs < c.SeedCount {
+		c.MaxPairs = c.SeedCount
 	}
 	if c.Shards <= 0 {
 		c.Shards = runtime.GOMAXPROCS(0)
@@ -222,7 +231,7 @@ type Engine struct {
 
 // New returns an engine with the given configuration.
 func New(cfg Config) *Engine {
-	c := cfg.withDefaults()
+	c := cfg.normalize()
 	var dist *pairs.DistTracker
 	if c.DistributionMode {
 		dist = pairs.NewDistTracker(pairs.Config{

@@ -51,9 +51,10 @@ func TestAlertsNotRepeated(t *testing.T) {
 	r2 := sampleRanking()
 	r2.At = r2.At.Add(time.Hour)
 	s.PublishRanking(r2)
-	s.mu.Lock()
-	alerts := s.lastView.Alerts
-	s.mu.Unlock()
+	def := s.defaultTenant()
+	def.mu.Lock()
+	alerts := def.lastView.Alerts
+	def.mu.Unlock()
 	if len(alerts) != 0 {
 		t.Errorf("second tick repeated alerts: %+v", alerts)
 	}
@@ -80,9 +81,10 @@ func TestProfileUpdateResetsAlerts(t *testing.T) {
 	r2 := sampleRanking()
 	r2.At = r2.At.Add(time.Hour)
 	s.PublishRanking(r2)
-	s.mu.Lock()
-	alerts := s.lastView.Alerts
-	s.mu.Unlock()
+	def := s.defaultTenant()
+	def.mu.Lock()
+	alerts := def.lastView.Alerts
+	def.mu.Unlock()
 	if len(alerts) == 0 {
 		t.Error("profile update did not re-arm alerts")
 	}

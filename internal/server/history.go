@@ -10,15 +10,13 @@ import (
 	"enblogue/internal/pairs"
 )
 
-// AttachHistory connects a ranking history to the server: PublishRanking
-// records every tick into it, and the /history and /trajectory endpoints
-// answer time-range queries against it (show case 1's "users can specify
-// their own time ranges and see how the ranking changes").
-func (s *Server) AttachHistory(h *history.History) {
-	s.mu.Lock()
-	s.history = h
-	s.mu.Unlock()
-}
+// This file serves the per-tenant ranking histories: each tenant's feed
+// records every published tick into its own history ring, and the history
+// and trajectory endpoints answer time-range queries against it (show case
+// 1's "users can specify their own time ranges and see how the ranking
+// changes"). The default tenant keeps the legacy contract — no history
+// until AttachHistory — while FollowTenant gives every other tenant a ring
+// automatically.
 
 // HistoryEntryView is the wire form of one range-query result row.
 type HistoryEntryView struct {
@@ -40,13 +38,27 @@ func parseTimeParam(r *http.Request, name string) (time.Time, error) {
 	return time.Parse(time.RFC3339, v)
 }
 
-// handleHistory serves GET /history?from=RFC3339&to=RFC3339&k=10&agg=max.
-func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	h := s.history
-	s.mu.Unlock()
+// historyOr404 resolves the request tenant's history ring, answering 404
+// when the tenant does not exist or has no history attached.
+func (s *Server) historyOr404(w http.ResponseWriter, r *http.Request) *history.History {
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	h := t.history
+	t.mu.Unlock()
 	if h == nil {
 		http.Error(w, "history not enabled", http.StatusNotFound)
+	}
+	return h
+}
+
+// handleHistory serves GET [/v1/tenants/{tenant}]/v1/rankings/history
+// ?from=RFC3339&to=RFC3339&k=10&agg=max.
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	h := s.historyOr404(w, r)
+	if h == nil {
 		return
 	}
 	from, err := parseTimeParam(r, "from")
@@ -93,13 +105,11 @@ type TrajectoryPointView struct {
 	Score float64   `json:"score"`
 }
 
-// handleTrajectory serves GET /trajectory?tag1=a&tag2=b&from=&to=.
+// handleTrajectory serves GET [/v1/tenants/{tenant}]/v1/rankings/trajectory
+// ?tag1=a&tag2=b&from=&to=.
 func (s *Server) handleTrajectory(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	h := s.history
-	s.mu.Unlock()
+	h := s.historyOr404(w, r)
 	if h == nil {
-		http.Error(w, "history not enabled", http.StatusNotFound)
 		return
 	}
 	t1 := r.URL.Query().Get("tag1")

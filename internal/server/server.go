@@ -5,6 +5,13 @@
 // uses standard-library HTTP with Server-Sent Events, which delivers the
 // same no-polling semantics to modern browsers (including mobile clients
 // over low-bandwidth connections — SSE frames are tiny deltas).
+//
+// The server is multi-tenant: one process serves many named topic streams
+// (one engine per community, feed, language, or customer), each with its
+// own SSE hub, profile registry, alert watcher, and history ring, behind
+// the tenant-scoped /v1/tenants/{name}/... wire contract. The tenant-less
+// /v1/* routes remain first-class aliases onto the "default" tenant, so
+// single-stream deployments and existing clients keep working unchanged.
 package server
 
 import (
@@ -20,11 +27,12 @@ import (
 	"enblogue/internal/history"
 	"enblogue/internal/persona"
 	"enblogue/internal/rank"
+	"enblogue/internal/stream"
 )
 
-// Engine is the engine surface the server consumes: stats counters plus
-// the subscription broker. Both *core.Engine and the public enblogue
-// engine satisfy it.
+// Engine is the engine surface the server consumes: stats counters, the
+// subscription broker, and the ingest sink behind POST items. Both
+// *core.Engine and the public enblogue engine satisfy it.
 type Engine interface {
 	DocsProcessed() int64
 	ActivePairs() int
@@ -34,6 +42,7 @@ type Engine interface {
 	Subscribers() int
 	RankingsDropped() int64
 	Subscribe(ctx context.Context, opts ...core.SubOption) *core.Subscription
+	Consume(it *stream.Item)
 }
 
 // TopicView is the wire form of one ranked emergent topic.
@@ -132,107 +141,254 @@ func (h *Hub) Last() []byte {
 	return h.last
 }
 
-// Server exposes the enBlogue front-end endpoints. The stable, versioned
-// wire contract (see DESIGN.md §5):
-//
-//	GET    /v1/rankings             current RankingView snapshot (JSON);
-//	                                ?profile=name for a personalized view
-//	GET    /v1/rankings/history     top topics over a time range
-//	GET    /v1/rankings/trajectory  one pair's (rank, score) over time
-//	GET    /v1/stream               SSE stream of RankingView frames;
-//	                                ?profile=name for a per-profile stream
-//	                                backed by a server-side subscription
-//	GET    /v1/profiles             list registered profiles (full JSON)
-//	POST   /v1/profiles             register/update a profile
-//	GET    /v1/profiles/{name}      fetch one profile
-//	DELETE /v1/profiles/{name}      delete a profile
-//	GET    /v1/stats                engine/broker/server counters
-//	GET    /                        demo page (auto-connecting EventSource)
-//
-// The pre-versioning routes (/events, /ranking, /profile, /profiles,
-// /history, /trajectory, /stats) remain as deprecated aliases for one
-// release; they answer identically and carry a Deprecation header pointing
-// at their successor.
-type Server struct {
-	hub      *Hub
+// DefaultTenant is the tenant the tenant-less /v1/* routes and the legacy
+// single-engine server methods (Follow, PublishRanking, AttachHistory)
+// operate on. It always exists and cannot be deleted.
+const DefaultTenant = "default"
+
+// tenantState is one tenant's complete front-end state: its SSE hub,
+// profile registry, alert watcher, history ring, last published view, and
+// followed engine. Tenants share nothing, so a slow or bursty tenant
+// cannot delay another's broadcasts.
+type tenantState struct {
+	name    string
+	created time.Time
+	hub     *Hub
+	// ctx ends when the tenant is removed or the server closes; SSE
+	// handlers and follow feeds for this tenant select on it.
+	ctx      context.Context
+	cancel   context.CancelFunc
 	registry *persona.Registry
 
-	// ctx bounds server-side subscriptions (Follow, per-profile streams
-	// outliving their request is impossible, but the feed goroutine is);
-	// Close cancels it.
-	ctx    context.Context
-	cancel context.CancelFunc
-
-	mu       sync.Mutex
-	lastView RankingView
-	prevIDs  rank.List
-	history  *history.History
-	watcher  *persona.Watcher
-	engine   Engine
+	mu         sync.Mutex
+	watcher    *persona.Watcher
+	lastView   RankingView
+	prevIDs    rank.List
+	history    *history.History
+	engine     Engine
+	feedCancel context.CancelFunc // stops a previous Follow's feed on re-follow
 }
 
-// New returns a server with an empty profile registry.
+// Server exposes the enBlogue front-end endpoints. The stable, versioned
+// wire contract (see DESIGN.md §5 and §7):
+//
+//	GET    /v1/tenants                    list tenants (TenantView array)
+//	POST   /v1/tenants                    create-or-get a tenant {"name": ...}
+//	GET    /v1/tenants/{tenant}           one tenant's summary
+//	DELETE /v1/tenants/{tenant}           close a tenant ("default" is not deletable)
+//	POST   /v1/tenants/{tenant}/items     ingest JSONL documents (the write path)
+//	GET    /v1/tenants/{tenant}/rankings             current RankingView snapshot;
+//	                                                 ?profile=name personalizes
+//	GET    /v1/tenants/{tenant}/rankings/history     top topics over a time range
+//	GET    /v1/tenants/{tenant}/rankings/trajectory  one pair's (rank, score) over time
+//	GET    /v1/tenants/{tenant}/stream               SSE RankingView frames;
+//	                                                 ?profile=name for a private stream
+//	GET    /v1/tenants/{tenant}/profiles             list profiles (full JSON)
+//	POST   /v1/tenants/{tenant}/profiles             register/update a profile
+//	GET    /v1/tenants/{tenant}/profiles/{name}      fetch one profile
+//	DELETE /v1/tenants/{tenant}/profiles/{name}      delete a profile
+//	GET    /v1/tenants/{tenant}/stats                engine/broker/server counters
+//
+// The tenant-less /v1/{rankings,rankings/history,rankings/trajectory,
+// stream,profiles,stats} routes are permanent aliases onto the "default"
+// tenant — not deprecated — so single-stream deployments need never
+// mention tenants. The pre-versioning routes (/events, /ranking, /profile,
+// /profiles, /history, /trajectory, /stats) remain as deprecated aliases
+// for one release; they answer identically and carry a Deprecation header
+// pointing at their successor.
+type Server struct {
+	// ctx bounds server-side subscriptions (Follow feeds, per-profile
+	// streams); Close cancels it.
+	ctx     context.Context
+	cancel  context.CancelFunc
+	started time.Time
+
+	mu           sync.Mutex
+	tenants      map[string]*tenantState
+	opener       Opener
+	historyTicks int
+
+	// lifecycleMu serialises tenant creation against deletion over the
+	// wire, so POST /v1/tenants' open-then-follow-then-respond sequence is
+	// atomic relative to DELETE /v1/tenants/{tenant}. It is never held
+	// while publishing or serving reads.
+	lifecycleMu sync.Mutex
+}
+
+// New returns a server with a single empty "default" tenant.
 func New() *Server {
-	reg := persona.NewRegistry()
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
+		ctx:          ctx,
+		cancel:       cancel,
+		started:      time.Now(),
+		tenants:      make(map[string]*tenantState),
+		historyTicks: 4096,
+	}
+	s.ensureTenant(DefaultTenant)
+	return s
+}
+
+// newTenantState builds a tenant's empty front-end state.
+func (s *Server) newTenantState(name string) *tenantState {
+	reg := persona.NewRegistry()
+	ctx, cancel := context.WithCancel(s.ctx)
+	return &tenantState{
+		name:     name,
+		created:  time.Now(),
 		hub:      NewHub(),
-		registry: reg,
-		watcher:  persona.NewWatcher(reg, 10),
 		ctx:      ctx,
 		cancel:   cancel,
+		registry: reg,
+		watcher:  persona.NewWatcher(reg, 10),
 	}
 }
 
-// Close releases the server's background resources: the engine feed
-// started by Follow and any server-side subscriptions. Idempotent. The
-// HTTP handler keeps answering from the last published state.
+// ensureTenant returns the named tenant's state, creating it if absent.
+func (s *Server) ensureTenant(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.tenants[name]
+	if !ok {
+		t = s.newTenantState(name)
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// tenant returns the named tenant's state, nil if absent.
+func (s *Server) tenant(name string) *tenantState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenants[name]
+}
+
+// defaultTenant returns the always-present default tenant.
+func (s *Server) defaultTenant() *tenantState { return s.ensureTenant(DefaultTenant) }
+
+// Tenants returns the server's tenant names, sorted.
+func (s *Server) Tenants() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.tenants))
+	for name := range s.tenants {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Close releases the server's background resources: every tenant's engine
+// feed and server-side subscriptions. Idempotent. The HTTP handler keeps
+// answering from the last published state.
 func (s *Server) Close() { s.cancel() }
 
-// Hub exposes the underlying broadcast hub (for tests and embedding).
-func (s *Server) Hub() *Hub { return s.hub }
+// Hub exposes the default tenant's broadcast hub (for tests and embedding).
+func (s *Server) Hub() *Hub { return s.defaultTenant().hub }
 
-// Registry exposes the personalization registry.
-func (s *Server) Registry() *persona.Registry { return s.registry }
+// Registry exposes the default tenant's personalization registry.
+func (s *Server) Registry() *persona.Registry { return s.defaultTenant().registry }
 
-// AttachEngine connects the engine to the server's stats endpoint and
-// enables per-profile stream subscriptions. The engine is safe for
-// concurrent use, so the server reads its counters directly — no external
-// serialization between the ingest goroutine, the wall-clock ticker, and
-// HTTP handlers is needed. AttachEngine does not feed rankings into the
-// server; use Follow for that, or wire PublishRanking yourself.
-func (s *Server) AttachEngine(e Engine) {
+// SetTenantHistoryTicks sets the history ring length FollowTenant gives a
+// newly created non-default tenant (default 4096; <= 0 disables automatic
+// histories). The default tenant keeps the legacy contract: no history
+// until AttachHistory.
+func (s *Server) SetTenantHistoryTicks(n int) {
 	s.mu.Lock()
-	s.engine = e
+	s.historyTicks = n
 	s.mu.Unlock()
 }
 
-// Follow attaches the engine and subscribes the server to its ranking
-// broker: every evaluation tick is published to SSE clients, recorded
-// into the attached history, and personalized for registered profiles —
-// without the engine knowing the server exists. The feed stops when the
-// server is Closed or the engine's broker shuts down.
+// AttachEngine connects an engine to the default tenant's stats endpoint
+// and enables its per-profile stream subscriptions and item ingest.
+// AttachEngine does not feed rankings into the server; use Follow for
+// that, or wire PublishRanking yourself.
+func (s *Server) AttachEngine(e Engine) {
+	t := s.defaultTenant()
+	t.mu.Lock()
+	t.engine = e
+	t.mu.Unlock()
+}
+
+// AttachHistory connects a ranking history to the default tenant:
+// PublishRanking records every tick into it, and the history/trajectory
+// endpoints answer time-range queries against it.
+func (s *Server) AttachHistory(h *history.History) {
+	t := s.defaultTenant()
+	t.mu.Lock()
+	t.history = h
+	t.mu.Unlock()
+}
+
+// Follow attaches the engine to the default tenant and subscribes the
+// server to its ranking broker; see FollowTenant.
+func (s *Server) Follow(e Engine) { _ = s.FollowTenant(DefaultTenant, e) }
+
+// FollowTenant attaches the engine as the named tenant — created on first
+// use — and subscribes the tenant to its ranking broker: every evaluation
+// tick is published to the tenant's SSE clients, recorded into its
+// history, and personalized for its registered profiles, without the
+// engine knowing the server exists. A newly created non-default tenant
+// gets its own history ring (SetTenantHistoryTicks). The feed stops when
+// the tenant is removed, the server is Closed, or the engine's broker
+// shuts down; re-following a tenant replaces its previous feed.
 //
 // Delivery follows the broker's drop-oldest contract: if publishing (per
 // profile rerank + history record + JSON broadcast) ever falls more than
 // the buffer behind a bursty replay, the oldest ticks are skipped rather
 // than stalling the engine — history then has gaps. Drops are observable
-// as rankingsDropped in /v1/stats; wire PublishRanking to
-// core.Config.OnRanking instead if lossless recording matters more than
-// isolation.
-func (s *Server) Follow(e Engine) {
-	s.AttachEngine(e)
-	// Sized far beyond any realistic tick backlog; PublishRanking is cheap
+// as rankingsDropped in the tenant's stats.
+func (s *Server) FollowTenant(name string, e Engine) error {
+	if err := core.ValidateTenantName(name); err != nil {
+		return err
+	}
+	t := s.ensureTenant(name)
+	s.mu.Lock()
+	ticks := s.historyTicks
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(t.ctx)
+	t.mu.Lock()
+	if t.feedCancel != nil {
+		t.feedCancel()
+	}
+	t.engine = e
+	t.feedCancel = cancel
+	if t.history == nil && t.name != DefaultTenant && ticks > 0 {
+		t.history = history.New(ticks)
+	}
+	t.mu.Unlock()
+
+	// Sized far beyond any realistic tick backlog; publishing is cheap
 	// relative to a tick interval.
-	sub := e.Subscribe(s.ctx, core.SubBuffer(4096))
+	sub := e.Subscribe(ctx, core.SubBuffer(4096))
 	go func() {
 		for r := range sub.Rankings() {
-			s.PublishRanking(r)
+			s.publish(t, r)
 		}
 	}()
+	return nil
 }
 
-// StatsView is the wire form of GET /v1/stats.
+// removeTenant drops the named tenant's state and cancels its context,
+// ending its follow feed and parked SSE streams. The default tenant is
+// never removed. Reports whether the tenant existed.
+func (s *Server) removeTenant(name string) bool {
+	if name == DefaultTenant {
+		return false
+	}
+	s.mu.Lock()
+	t, ok := s.tenants[name]
+	delete(s.tenants, name)
+	s.mu.Unlock()
+	if ok {
+		t.cancel()
+	}
+	return ok
+}
+
+// StatsView is the wire form of GET /v1/stats and the per-tenant
+// /v1/tenants/{tenant}/stats.
 type StatsView struct {
 	DocsProcessed   int64     `json:"docsProcessed"`
 	ActivePairs     int       `json:"activePairs"`
@@ -243,6 +399,8 @@ type StatsView struct {
 	Profiles        int       `json:"profiles"`
 	Subscriptions   int       `json:"subscriptions"`
 	RankingsDropped int64     `json:"rankingsDropped"`
+	Tenant          string    `json:"tenant"`
+	Uptime          float64   `json:"uptime"`
 }
 
 // toViews converts topics to wire form.
@@ -256,14 +414,18 @@ func toViews(topics []persona.Topic) []TopicView {
 	return out
 }
 
-// PublishRanking converts an engine ranking to wire form — including each
-// registered profile's personalized list and the rank moves since the last
-// tick — and broadcasts it. Follow feeds it from a broker subscription;
+// PublishRanking converts an engine ranking to wire form and broadcasts it
+// on the default tenant. Follow feeds it from a broker subscription;
 // callers doing their own wiring may invoke it directly.
-func (s *Server) PublishRanking(r core.Ranking) {
-	s.mu.Lock()
-	h := s.history
-	s.mu.Unlock()
+func (s *Server) PublishRanking(r core.Ranking) { s.publish(s.defaultTenant(), r) }
+
+// publish converts one tenant's ranking to wire form — including each of
+// the tenant's registered profiles' personalized lists and the rank moves
+// since the tenant's last tick — and broadcasts it on the tenant's hub.
+func (s *Server) publish(t *tenantState, r core.Ranking) {
+	t.mu.Lock()
+	h := t.history
+	t.mu.Unlock()
 	if h != nil {
 		// Out-of-order ticks cannot happen from a single engine; an error
 		// here means mis-wired publishers, surfaced by dropping the tick.
@@ -272,19 +434,19 @@ func (s *Server) PublishRanking(r core.Ranking) {
 	view := RankingView{At: r.At, Seeds: r.Seeds}
 	var ptopics []persona.Topic
 	var cur rank.List
-	for i, t := range r.Topics {
+	for i, tp := range r.Topics {
 		view.Topics = append(view.Topics, TopicView{
 			Rank:         i + 1,
-			Tag1:         t.Pair.Tag1(),
-			Tag2:         t.Pair.Tag2(),
-			Score:        t.Score,
-			Correlation:  t.Correlation,
-			Cooccurrence: t.Cooccurrence,
+			Tag1:         tp.Pair.Tag1(),
+			Tag2:         tp.Pair.Tag2(),
+			Score:        tp.Score,
+			Correlation:  tp.Correlation,
+			Cooccurrence: tp.Cooccurrence,
 		})
-		ptopics = append(ptopics, persona.Topic{Pair: t.Pair, Score: t.Score})
-		cur = append(cur, rank.Entry{ID: t.Pair.String(), Score: t.Score})
+		ptopics = append(ptopics, persona.Topic{Pair: tp.Pair, Score: tp.Score})
+		cur = append(cur, rank.Entry{ID: tp.Pair.String(), Score: tp.Score})
 	}
-	views := s.registry.RerankAll(ptopics)
+	views := t.registry.RerankAll(ptopics)
 	if len(views) > 0 {
 		view.Profiles = make(map[string][]TopicView, len(views))
 		for name, ts := range views {
@@ -292,21 +454,21 @@ func (s *Server) PublishRanking(r core.Ranking) {
 		}
 	}
 
-	s.mu.Lock()
-	view.Moves = rank.Diff(s.prevIDs, cur)
-	for _, a := range s.watcher.Observe(r.At, ptopics) {
+	t.mu.Lock()
+	view.Moves = rank.Diff(t.prevIDs, cur)
+	for _, a := range t.watcher.Observe(r.At, ptopics) {
 		view.Alerts = append(view.Alerts, AlertView{
 			User: a.User, Tag1: a.Pair.Tag1(), Tag2: a.Pair.Tag2(),
 			Rank: a.Rank, Score: a.Score,
 		})
 	}
-	s.prevIDs = cur
-	s.lastView = view
-	s.mu.Unlock()
+	t.prevIDs = cur
+	t.lastView = view
+	t.mu.Unlock()
 
 	// Broadcast errors mean a marshaling bug, not a client problem; the
 	// view type is fully serialisable, so this cannot fail in practice.
-	_ = s.hub.Broadcast(view)
+	_ = t.hub.Broadcast(view)
 }
 
 // profileRequest is the POST /profile payload.
@@ -328,13 +490,31 @@ func deprecated(successor string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// Handler returns the HTTP handler serving all endpoints: the versioned
-// /v1 contract plus the deprecated pre-versioning aliases.
+// Handler returns the HTTP handler serving all endpoints: the tenant-scoped
+// /v1/tenants contract, the tenant-less /v1 aliases onto the default
+// tenant, and the deprecated pre-versioning aliases.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 
-	// Versioned wire contract.
+	// Tenant management and the tenant-scoped wire contract.
+	mux.HandleFunc("GET /v1/tenants", s.handleTenantsList)
+	mux.HandleFunc("POST /v1/tenants", s.handleTenantCreate)
+	mux.HandleFunc("GET /v1/tenants/{tenant}", s.handleTenantGet)
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}", s.handleTenantDelete)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/items", s.handleItemsIngest)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/rankings", s.handleV1Rankings)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/rankings/history", s.handleHistory)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/rankings/trajectory", s.handleTrajectory)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/stream", s.handleV1Stream)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/profiles", s.handleV1ProfilesList)
+	mux.HandleFunc("POST /v1/tenants/{tenant}/profiles", s.handleV1ProfilePut)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/profiles/{name}", s.handleV1ProfileGet)
+	mux.HandleFunc("DELETE /v1/tenants/{tenant}/profiles/{name}", s.handleV1ProfileDelete)
+	mux.HandleFunc("GET /v1/tenants/{tenant}/stats", s.handleStats)
+
+	// Tenant-less /v1 aliases: the same handlers against the default
+	// tenant (no {tenant} path value resolves to it).
 	mux.HandleFunc("GET /v1/rankings", s.handleV1Rankings)
 	mux.HandleFunc("GET /v1/rankings/history", s.handleHistory)
 	mux.HandleFunc("GET /v1/rankings/trajectory", s.handleTrajectory)
@@ -356,13 +536,34 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
+// tenantOr404 resolves the request's tenant: the {tenant} path segment, or
+// the default tenant on the tenant-less routes. Writes a 404 and returns
+// nil when the named tenant does not exist.
+func (s *Server) tenantOr404(w http.ResponseWriter, r *http.Request) *tenantState {
+	name := r.PathValue("tenant")
+	if name == "" {
+		name = DefaultTenant
+	}
+	t := s.tenant(name)
+	if t == nil {
+		http.Error(w, fmt.Sprintf("unknown tenant %q", name), http.StatusNotFound)
+	}
+	return t
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	e := s.engine
-	s.mu.Unlock()
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	e := t.engine
+	t.mu.Unlock()
 	view := StatsView{
-		Clients:  s.hub.ClientCount(),
-		Profiles: s.registry.Len(),
+		Clients:  t.hub.ClientCount(),
+		Profiles: t.registry.Len(),
+		Tenant:   t.name,
+		Uptime:   time.Since(t.created).Seconds(),
 	}
 	if e != nil {
 		view.DocsProcessed = e.DocsProcessed()
@@ -389,6 +590,10 @@ func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
 		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
@@ -399,15 +604,16 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush() // deliver headers now so clients see the stream open
-	ch := s.hub.subscribe()
-	defer s.hub.unsubscribe(ch)
+	ch := t.hub.subscribe()
+	defer t.hub.unsubscribe(ch)
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case <-s.ctx.Done():
-			// Server closing: end the stream so http.Server.Shutdown can
-			// drain instead of timing out on parked SSE handlers.
+		case <-t.ctx.Done():
+			// Tenant removed or server closing: end the stream so
+			// http.Server.Shutdown can drain instead of timing out on
+			// parked SSE handlers.
 			return
 		case frame := <-ch:
 			if _, err := fmt.Fprintf(w, "data: %s\n\n", frame); err != nil {
@@ -419,9 +625,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRanking(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	view := s.lastView
-	s.mu.Unlock()
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	view := t.lastView
+	t.mu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(view); err != nil {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
@@ -433,6 +643,10 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
 	var req profileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad profile JSON: "+err.Error(), http.StatusBadRequest)
@@ -442,27 +656,31 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "profile name required", http.StatusBadRequest)
 		return
 	}
-	s.setProfile(&req)
+	t.setProfile(&req)
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// setProfile registers/replaces a profile and forgets the user's alert
-// state so the new preferences re-alert.
-func (s *Server) setProfile(req *profileRequest) {
-	s.registry.Set(&persona.Profile{
+// setProfile registers/replaces a profile on the tenant and forgets the
+// user's alert state so the new preferences re-alert.
+func (t *tenantState) setProfile(req *profileRequest) {
+	t.registry.Set(&persona.Profile{
 		Name:       req.Name,
 		Keywords:   req.Keywords,
 		Categories: req.Categories,
 		Boost:      req.Boost,
 		Exclusive:  req.Exclusive,
 	})
-	s.mu.Lock()
-	s.watcher.Reset(req.Name)
-	s.mu.Unlock()
+	t.mu.Lock()
+	t.watcher.Reset(req.Name)
+	t.mu.Unlock()
 }
 
 func (s *Server) handleProfiles(w http.ResponseWriter, r *http.Request) {
-	names := s.registry.Names()
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	names := t.registry.Names()
 	sort.Strings(names)
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(names); err != nil {

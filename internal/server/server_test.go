@@ -237,9 +237,10 @@ func TestMovesAcrossTicks(t *testing.T) {
 	r2.Topics[0], r2.Topics[1] = r2.Topics[1], r2.Topics[0]
 	r2.Topics[0].Score = 2.0
 	s.PublishRanking(r2)
-	s.mu.Lock()
-	moves := s.lastView.Moves
-	s.mu.Unlock()
+	def := s.defaultTenant()
+	def.mu.Lock()
+	moves := def.lastView.Moves
+	def.mu.Unlock()
 	if len(moves) != 2 {
 		t.Fatalf("moves = %+v", moves)
 	}

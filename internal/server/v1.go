@@ -11,10 +11,16 @@ import (
 	"enblogue/internal/persona"
 )
 
-// This file implements the /v1 wire contract. Wire shapes (TopicView,
-// RankingView, StatsView, ProfileView) are stable: fields may be added,
-// never renamed or removed, within the v1 major version. Example payloads
-// are documented in DESIGN.md §5.
+// This file implements the /v1 wire contract — both the tenant-scoped
+// /v1/tenants/{tenant}/... routes and the tenant-less aliases onto the
+// default tenant. Wire shapes (TopicView, RankingView, StatsView,
+// ProfileView, TenantView, IngestView) are stable: fields may be added,
+// never renamed or removed, within the v1 major version. The multi-tenant
+// additions follow that rule: StatsView gained tenant (the answering
+// tenant's name), uptime (seconds since the tenant was created), and its
+// per-tenant rankingsDropped now counts only that tenant's engine;
+// TenantView and IngestView are new shapes, frozen on the same terms.
+// Example payloads are documented in DESIGN.md §5 and §7.
 
 // ProfileView is the stable wire form of one personalization profile.
 type ProfileView struct {
@@ -61,18 +67,23 @@ func writeJSON(w http.ResponseWriter, status int, v interface{}) {
 	}
 }
 
-// handleV1Rankings serves GET /v1/rankings[?profile=name]: the current
-// broadcast ranking, or one profile's personalized view of it.
+// handleV1Rankings serves GET [/v1/tenants/{tenant}]/v1/rankings
+// [?profile=name]: the tenant's current broadcast ranking, or one
+// profile's personalized view of it.
 func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	view := s.lastView
-	s.mu.Unlock()
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	view := t.lastView
+	t.mu.Unlock()
 	name := r.URL.Query().Get("profile")
 	if name == "" {
 		writeJSON(w, http.StatusOK, view)
 		return
 	}
-	p := s.registry.Get(name)
+	p := t.registry.Get(name)
 	if p == nil {
 		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
 		return
@@ -83,10 +94,10 @@ func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
 	// rerank so this endpoint agrees with /v1/stream?profile= frames.
 	topics := make([]persona.Topic, 0, len(view.Topics))
 	byPair := make(map[pairs.Key]TopicView, len(view.Topics))
-	for _, t := range view.Topics {
-		k := pairs.MakeKey(t.Tag1, t.Tag2)
-		topics = append(topics, persona.Topic{Pair: k, Score: t.Score})
-		byPair[k] = t
+	for _, tv := range view.Topics {
+		k := pairs.MakeKey(tv.Tag1, tv.Tag2)
+		topics = append(topics, persona.Topic{Pair: k, Score: tv.Score})
+		byPair[k] = tv
 	}
 	reranked := persona.Rerank(topics, p)
 	out := make([]TopicView, len(reranked))
@@ -104,24 +115,29 @@ func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RankingView{At: view.At, Seeds: view.Seeds, Topics: out})
 }
 
-// handleV1Stream serves GET /v1/stream[?profile=name]. Without a profile
-// it is the broadcast SSE feed. With one, the server opens a dedicated
-// engine subscription carrying that persona — a server-side continuous
-// query — and streams its re-ranked views for the lifetime of the request.
+// handleV1Stream serves GET [/v1/tenants/{tenant}]/v1/stream
+// [?profile=name]. Without a profile it is the tenant's broadcast SSE
+// feed. With one, the server opens a dedicated engine subscription
+// carrying that persona — a server-side continuous query — and streams its
+// re-ranked views for the lifetime of the request.
 func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("profile")
 	if name == "" {
 		s.handleEvents(w, r)
 		return
 	}
-	p := s.registry.Get(name)
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	p := t.registry.Get(name)
 	if p == nil {
 		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
 		return
 	}
-	s.mu.Lock()
-	e := s.engine
-	s.mu.Unlock()
+	t.mu.Lock()
+	e := t.engine
+	t.mu.Unlock()
 	if e == nil {
 		http.Error(w, "no engine attached; per-profile streams unavailable", http.StatusServiceUnavailable)
 		return
@@ -137,12 +153,12 @@ func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
 
-	// The subscription ends when the client disconnects OR the server
-	// closes — otherwise a parked profile stream would pin
-	// http.Server.Shutdown until its timeout.
+	// The subscription ends when the client disconnects OR the tenant goes
+	// away (removed, or the whole server closes) — otherwise a parked
+	// profile stream would pin http.Server.Shutdown until its timeout.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	stop := context.AfterFunc(s.ctx, cancel)
+	stop := context.AfterFunc(t.ctx, cancel)
 	defer stop()
 	sub := e.Subscribe(ctx, core.SubProfile(p), core.SubBuffer(8))
 	defer sub.Close()
@@ -158,21 +174,31 @@ func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleV1ProfilesList serves GET /v1/profiles: all registered profiles.
+// handleV1ProfilesList serves GET [/v1/tenants/{tenant}]/v1/profiles: the
+// tenant's registered profiles.
 func (s *Server) handleV1ProfilesList(w http.ResponseWriter, r *http.Request) {
-	names := s.registry.Names()
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
+	names := t.registry.Names()
 	out := make([]ProfileView, 0, len(names))
 	for _, n := range names {
-		if p := s.registry.Get(n); p != nil {
+		if p := t.registry.Get(n); p != nil {
 			out = append(out, profileView(p))
 		}
 	}
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleV1ProfilePut serves POST /v1/profiles: register or replace a
-// profile, answering with the stored state.
+// handleV1ProfilePut serves POST [/v1/tenants/{tenant}]/v1/profiles:
+// register or replace a profile on the tenant, answering with the stored
+// state.
 func (s *Server) handleV1ProfilePut(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
 	var req profileRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "bad profile JSON: "+err.Error(), http.StatusBadRequest)
@@ -182,7 +208,7 @@ func (s *Server) handleV1ProfilePut(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "profile name required", http.StatusBadRequest)
 		return
 	}
-	s.setProfile(&req)
+	t.setProfile(&req)
 	// Answer from the request, not a registry re-read: a concurrent DELETE
 	// could remove the profile between Set and Get.
 	writeJSON(w, http.StatusCreated, profileView(&persona.Profile{
@@ -194,10 +220,14 @@ func (s *Server) handleV1ProfilePut(w http.ResponseWriter, r *http.Request) {
 	}))
 }
 
-// handleV1ProfileGet serves GET /v1/profiles/{name}.
+// handleV1ProfileGet serves GET [/v1/tenants/{tenant}]/v1/profiles/{name}.
 func (s *Server) handleV1ProfileGet(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
 	name := r.PathValue("name")
-	p := s.registry.Get(name)
+	p := t.registry.Get(name)
 	if p == nil {
 		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
 		return
@@ -205,18 +235,23 @@ func (s *Server) handleV1ProfileGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, profileView(p))
 }
 
-// handleV1ProfileDelete serves DELETE /v1/profiles/{name}: the persona's
-// server-side standing query ends; the next broadcast frame no longer
-// carries its view.
+// handleV1ProfileDelete serves DELETE
+// [/v1/tenants/{tenant}]/v1/profiles/{name}: the persona's server-side
+// standing query ends; the tenant's next broadcast frame no longer carries
+// its view.
 func (s *Server) handleV1ProfileDelete(w http.ResponseWriter, r *http.Request) {
+	t := s.tenantOr404(w, r)
+	if t == nil {
+		return
+	}
 	name := r.PathValue("name")
-	if s.registry.Get(name) == nil {
+	if t.registry.Get(name) == nil {
 		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
 		return
 	}
-	s.registry.Remove(name)
-	s.mu.Lock()
-	s.watcher.Reset(name)
-	s.mu.Unlock()
+	t.registry.Remove(name)
+	t.mu.Lock()
+	t.watcher.Reset(name)
+	t.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -265,7 +265,7 @@ func TestV1StreamUnknownProfileAndNoEngine(t *testing.T) {
 	if w := get(t, h, "/v1/stream?profile=ghost"); w.Code != http.StatusNotFound {
 		t.Errorf("unknown profile stream = %d, want 404", w.Code)
 	}
-	s.registry.Set(&persona.Profile{Name: "solo"})
+	s.Registry().Set(&persona.Profile{Name: "solo"})
 	if w := get(t, h, "/v1/stream?profile=solo"); w.Code != http.StatusServiceUnavailable {
 		t.Errorf("no-engine profile stream = %d, want 503", w.Code)
 	}

@@ -6,11 +6,47 @@ import (
 	"enblogue/internal/core"
 )
 
-// Option configures an Engine at construction. Options replace the raw
-// config struct as the public construction surface: unspecified settings
-// keep the paper's defaults, and new knobs can be added without breaking
-// callers.
+// Options come in two levels of application:
+//
+//   - Option (tenant-level) configures one Engine. It applies at New, and
+//     per tenant at Hub.Open, where it overrides the hub's defaults.
+//   - HubOption (hub-level) configures a Hub at NewHub: engine defaults
+//     shared by every tenant (HubDefaults) and hub-wide limits
+//     (HubMaxTenants).
+//
+// Every engine construction path funnels through core.Config normalization,
+// so nonsensical settings (negative shards, zero windows, top-k < 1) are
+// clamped to the paper's defaults rather than building a wedged engine.
+
+// Option configures an Engine at construction — directly via New, or per
+// tenant via Hub.Open. Options replace the raw config struct as the public
+// construction surface: unspecified settings keep the paper's defaults, and
+// new knobs can be added without breaking callers.
 type Option func(*core.Config)
+
+// HubOption configures a Hub at construction (NewHub). Hub-level options
+// are distinct from engine-level ones: they describe the registry — shared
+// tenant defaults and limits — not any single engine.
+type HubOption func(*core.HubConfig)
+
+// HubDefaults sets the engine options every tenant starts from; options
+// passed to Hub.Open layer over these per tenant.
+func HubDefaults(opts ...Option) HubOption {
+	return func(hc *core.HubConfig) {
+		for _, o := range opts {
+			if o != nil {
+				o(&hc.Defaults)
+			}
+		}
+	}
+}
+
+// HubMaxTenants caps the number of simultaneously open tenants (Open
+// returns an error beyond it). Zero or negative means unlimited — the
+// default.
+func HubMaxTenants(n int) HubOption {
+	return func(hc *core.HubConfig) { hc.MaxTenants = n }
+}
 
 // WithWindow sets the sliding statistics window: buckets of the given
 // resolution (default 48 × 1 hour).

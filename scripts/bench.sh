@@ -21,15 +21,25 @@ fi
 raw="$(go test -run '^$' -bench "$bench" -benchmem -benchtime "${BENCHTIME:-1s}" .)"
 printf '%s\n' "$raw" >&2
 
+# go test suffixes every benchmark name with "-GOMAXPROCS" when it is not
+# 1 (e.g. shards-1 becomes shards-1-4 on a 4-CPU runner). Strip that
+# machine detail at record time so names — and therefore the docs/s diff
+# below — stay comparable across machines; the value itself is kept as a
+# top-level field. GOMAXPROCS defaults to the processor count go sees.
+procs="${GOMAXPROCS:-$(nproc 2>/dev/null || echo 1)}"
+
 {
   printf '{\n'
   printf '  "date": "%s",\n' "$(date -u +%FT%TZ)"
   printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "gomaxprocs": %s,\n' "$procs"
   printf '  "cpu": %s,\n' "$(printf '%s\n' "$raw" | awk -F': ' '/^cpu:/ {printf "\"%s\"", $2; found=1} END {if (!found) printf "\"unknown\""}')"
   printf '  "benchmarks": [\n'
-  printf '%s\n' "$raw" | awk '
+  printf '%s\n' "$raw" | awk -v procs="$procs" '
     /^Benchmark/ {
-      printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, $1, $2
+      name = $1
+      if (procs != 1) sub("-" procs "$", "", name)
+      printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
       # Remaining fields come in value-unit pairs (ns/op, docs/s, B/op, ...).
       for (i = 3; i + 1 <= NF; i += 2) {
         unit = $(i + 1)
@@ -45,3 +55,34 @@ printf '%s\n' "$raw" >&2
 } > "$out"
 
 echo "wrote $out" >&2
+
+# Diff docs/s against the newest committed benchmark record, so every job
+# log shows the throughput trajectory at a glance. The generator writes one
+# benchmark per line and the optional hand-annotated "baseline" section
+# comes after the main array, so a line-oriented scrape that stops at
+# "baseline" is exact.
+bench_docs() {
+  sed -n '/"baseline"/q; s/.*"name": "\([^"]*\)".*"docs_s": \([0-9.eE+-]*\)[,}].*/\1 \2/p' "$1"
+}
+prev="$(git ls-files 'BENCH_*.json' | sort | tail -n 1 || true)"
+if [ -n "$prev" ] && [ "$prev" != "$out" ]; then
+  echo "docs/s delta vs committed $prev:" >&2
+  {
+    bench_docs "$prev" | sed 's/^/old /'
+    bench_docs "$out" | sed 's/^/new /'
+  } | awk '
+    $1 == "old" { old[$2] = $3; next }
+    { new[$2] = $3; order[n++] = $2 }
+    END {
+      for (i = 0; i < n; i++) {
+        name = order[i]
+        if (!(name in old)) { printf "  %-45s %12.0f docs/s (new benchmark)\n", name, new[name]; continue }
+        if (old[name] == 0) continue
+        delta = (new[name] - old[name]) / old[name] * 100
+        printf "  %-45s %12.0f -> %.0f docs/s (%+.1f%%)\n", name, old[name], new[name], delta
+      }
+    }
+  ' >&2
+else
+  echo "no committed BENCH_*.json to diff against" >&2
+fi
