@@ -1,0 +1,165 @@
+package enblogue_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"enblogue"
+	"enblogue/internal/source"
+	"enblogue/internal/stream"
+)
+
+// This file holds the batched-ingest determinism acceptance tests: the
+// engine promises rankings bit-identical between per-document Consume and
+// every batched path (ConsumeBatch at any batch size, the Enqueue ring
+// buffer, Run's internal batching), for any shard count. These tests pin
+// that promise across two workload shapes — a short synthetic tweet
+// stream with scripted happenings and a multi-day archive replay — and a
+// matrix of shard counts and batch sizes, including batches that split
+// mid-tick and a batch larger than the whole stream.
+
+// equivWorkloads builds the two acceptance workloads, sized so the full
+// matrix stays fast: a few thousand documents spanning enough event time
+// to fire dozens of evaluation ticks each.
+func equivWorkloads(t testing.TB) map[string][]*stream.Item {
+	t.Helper()
+	toItems := func(docs []source.Document) []*stream.Item {
+		items := make([]*stream.Item, len(docs))
+		for i := range docs {
+			items[i] = docs[i].Item()
+		}
+		return items
+	}
+	tweets := source.GenerateTweets(source.TweetConfig{
+		Seed: 7, Span: 6 * time.Hour, TweetsPerMinute: 8,
+	})
+	archive := source.GenerateArchive(source.ArchiveConfig{
+		Seed: 99, Start: time.Date(2007, 1, 1, 0, 0, 0, 0, time.UTC),
+		Days: 4, DocsPerDay: 500,
+	})
+	return map[string][]*stream.Item{
+		"tweets":  toItems(tweets),
+		"archive": toItems(archive),
+	}
+}
+
+// rankingRecorder collects every published tick via the OnRanking
+// callback. Engine.Flush establishes the happens-before edge that makes
+// the slice safe to read afterwards.
+type rankingRecorder struct {
+	got []enblogue.Ranking
+}
+
+func (r *rankingRecorder) opt() enblogue.Option {
+	return enblogue.WithOnRanking(func(rk enblogue.Ranking) { r.got = append(r.got, rk) })
+}
+
+// consumeSerial replays items one Consume at a time and returns every
+// published ranking — the reference the batched paths must reproduce
+// bit-for-bit.
+func consumeSerial(items []*stream.Item, shards int) []enblogue.Ranking {
+	var rec rankingRecorder
+	e := enblogue.New(enblogue.WithShards(shards), rec.opt())
+	for _, it := range items {
+		e.Consume(it)
+	}
+	e.Flush()
+	e.Close()
+	return rec.got
+}
+
+// diffRankings fails the test with the first divergence between two
+// ranking sequences, or returns quietly when they are deeply equal.
+func diffRankings(t *testing.T, want, got []enblogue.Ranking) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("published %d rankings, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i], got[i]) {
+			t.Fatalf("ranking %d diverges:\n got  %+v\n want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestConsumeBatchMatchesSerial is the acceptance test for the batched
+// ingest pipeline: for every workload × shard count × batch size, feeding
+// the stream through ConsumeBatch in fixed-size runs publishes rankings
+// bit-identical (reflect.DeepEqual over every tick, scores included) to
+// the per-document serial replay with the same shard count.
+func TestConsumeBatchMatchesSerial(t *testing.T) {
+	for name, items := range equivWorkloads(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, shards := range []int{1, 4, 8} {
+				want := consumeSerial(items, shards)
+				if len(want) == 0 {
+					t.Fatalf("serial replay of %q published no rankings; workload too small", name)
+				}
+				for _, batch := range []int{1, 64, 4096} {
+					t.Run(fmt.Sprintf("shards-%d/batch-%d", shards, batch), func(t *testing.T) {
+						var rec rankingRecorder
+						e := enblogue.New(enblogue.WithShards(shards), rec.opt())
+						for lo := 0; lo < len(items); lo += batch {
+							hi := lo + batch
+							if hi > len(items) {
+								hi = len(items)
+							}
+							e.ConsumeBatch(items[lo:hi])
+						}
+						e.Flush()
+						e.Close()
+						diffRankings(t, want, rec.got)
+					})
+				}
+			}
+		})
+	}
+}
+
+// TestEnqueueMatchesSerial pins the full asynchronous pipeline: items
+// pushed through the bounded ingest ring and its drainer goroutine (which
+// consumes via ConsumeBatch in arbitrary partial batches, depending on
+// timing) still publish rankings bit-identical to the serial replay,
+// because the ring is FIFO and batch boundaries are semantically
+// invisible.
+func TestEnqueueMatchesSerial(t *testing.T) {
+	items := equivWorkloads(t)["tweets"]
+	want := consumeSerial(items, 4)
+	var rec rankingRecorder
+	e := enblogue.New(
+		enblogue.WithShards(4),
+		enblogue.WithIngestQueue(256),
+		enblogue.WithIngestMaxBatch(64),
+		enblogue.WithIngestFlushInterval(time.Millisecond),
+		rec.opt(),
+	)
+	for _, it := range items {
+		e.Enqueue(it)
+	}
+	e.Flush() // waits for the ring to drain, then fires the final tick
+	e.Close()
+	diffRankings(t, want, rec.got)
+	if d := e.IngestDropped(); d != 0 {
+		t.Errorf("blocking ingest queue dropped %d items, want 0", d)
+	}
+	if d := e.IngestDepth(); d != 0 {
+		t.Errorf("ingest depth after Flush = %d, want 0", d)
+	}
+}
+
+// TestRunMatchesSerial pins Run's internal batching: draining a source
+// through Run publishes the same rankings as the per-document loop, and
+// the final flush tick is included.
+func TestRunMatchesSerial(t *testing.T) {
+	items := equivWorkloads(t)["tweets"]
+	want := consumeSerial(items, 2)
+	var rec rankingRecorder
+	e := enblogue.New(enblogue.WithShards(2), rec.opt())
+	if err := e.Run(t.Context(), enblogue.Items(items)); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	e.Close()
+	diffRankings(t, want, rec.got)
+}

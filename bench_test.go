@@ -16,6 +16,7 @@ package enblogue_test
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"testing"
 	"time"
 
@@ -124,6 +125,52 @@ func BenchmarkThroughputSharded(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
 		})
+	}
+}
+
+// BenchmarkThroughputBatched measures the batched ingest path across the
+// GOMAXPROCS × shards × batch-size matrix (P1's batching rows). Documents
+// are handed to the engine through Engine.ConsumeBatch in slices of the
+// given size — one lock acquisition and one tick check per batch instead of
+// per document, with candidate pairs grouped per tracker shard — while the
+// workload and re-timestamping match BenchmarkThroughputSharded exactly, so
+// batch-1 here isolates the batch-path overhead and larger batches show the
+// amortisation. Rankings are bit-identical to the per-document path (see
+// TestConsumeBatchMatchesSerial), so the docs/s column is the only thing
+// that moves.
+func BenchmarkThroughputBatched(b *testing.B) {
+	items := throughputDocs(b)
+	span := items[len(items)-1].Time.Sub(items[0].Time) + time.Hour
+	for _, procs := range []int{1, 2} {
+		for _, shards := range []int{1, 4} {
+			for _, batch := range []int{1, 64, 4096} {
+				name := fmt.Sprintf("procs-%d/shards-%d/batch-%d", procs, shards, batch)
+				b.Run(name, func(b *testing.B) {
+					prev := runtime.GOMAXPROCS(procs)
+					defer runtime.GOMAXPROCS(prev)
+					e := core.New(core.Config{SeedCount: 200, Shards: shards})
+					buf := make([]stream.Item, batch)
+					ptrs := make([]*stream.Item, batch)
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; {
+						n := batch
+						if rem := b.N - i; rem < n {
+							n = rem
+						}
+						for j := 0; j < n; j++ {
+							idx := i + j
+							buf[j] = *items[idx%len(items)]
+							buf[j].Time = buf[j].Time.Add(time.Duration(idx/len(items)) * span)
+							ptrs[j] = &buf[j]
+						}
+						e.ConsumeBatch(ptrs[:n])
+						i += n
+					}
+					b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "docs/s")
+				})
+			}
+		}
 	}
 }
 

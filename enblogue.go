@@ -132,12 +132,54 @@ func New(opts ...Option) *Engine {
 // event time passes tick boundaries. Safe for concurrent producers.
 func (e *Engine) Consume(it *Item) { e.core.Consume(it) }
 
+// ConsumeBatch feeds a run of tuples through the engine, paying the
+// engine's bookkeeping lock once per batch and each pair-tracker shard
+// lock once per batch chunk. Rankings are bit-identical to calling Consume
+// on each item in order. Safe for concurrent producers.
+func (e *Engine) ConsumeBatch(items []*Item) { e.core.ConsumeBatch(items) }
+
+// Enqueue appends one tuple to the engine's bounded ingest queue and
+// returns without waiting for it to be consumed: producers never block on
+// tick evaluation. A background drainer feeds queued items through the
+// batched consume path; Flush waits for the queue to empty. When the queue
+// is full, Enqueue blocks until space frees — or, configured with
+// WithIngestDropOldest, evicts the oldest queued items instead (counted by
+// IngestDropped).
+func (e *Engine) Enqueue(it *Item) { e.core.Enqueue(it) }
+
+// IngestDepth returns the number of items waiting in the ingest queue.
+func (e *Engine) IngestDepth() int { return e.core.IngestDepth() }
+
+// IngestDropped returns the total documents evicted from the ingest queue
+// under the drop-oldest backpressure policy.
+func (e *Engine) IngestDropped() int64 { return e.core.IngestDropped() }
+
 // Run drains a source into the engine and, when the source ends cleanly,
 // flushes a final evaluation tick at the last observed event time. It
 // returns the source's error (context cancellation included) without
 // flushing, leaving the last completed tick as the published ranking.
+//
+// Items are fed through the batched consume path in source order — emitted
+// items accumulate into runs of up to the configured ingest batch size
+// (WithIngestMaxBatch) and each run is consumed in one ConsumeBatch call,
+// so rankings are bit-identical to per-item Consume while the engine pays
+// its locks per batch instead of per document.
 func (e *Engine) Run(ctx context.Context, src Source) error {
-	if err := src.Run(ctx, e.core.Consume); err != nil {
+	batch := make([]*Item, 0, e.core.Config().IngestMaxBatch)
+	flush := func() {
+		e.core.ConsumeBatch(batch)
+		clear(batch) // release item references
+		batch = batch[:0]
+	}
+	err := src.Run(ctx, func(it *Item) {
+		if batch = append(batch, it); len(batch) == cap(batch) {
+			flush()
+		}
+	})
+	// Items the source emitted before failing were accepted, so they are
+	// consumed either way; only the final flush tick is error-gated.
+	flush()
+	if err != nil {
 		return err
 	}
 	e.core.Flush()

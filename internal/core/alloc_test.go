@@ -93,6 +93,35 @@ func TestConsumeSteadyStateAllocsSharded(t *testing.T) {
 	}
 }
 
+func TestConsumeBatchSteadyStateAllocs(t *testing.T) {
+	skipUnderRace(t)
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			cfg := testConfig()
+			cfg.Shards = shards
+			cfg.TickEvery = 1000 * time.Hour
+			e := New(cfg)
+			items := allocWorkload(100)
+			for range [3]int{} {
+				e.ConsumeBatch(items)
+			}
+			// Steady state: the batch scratch, pending-doc buffer, and
+			// per-shard chunk groups are all warmed and reused, so a whole
+			// batch must stay within the same ~zero budget as serial
+			// Consume — far under the 1-alloc-per-doc acceptance bound.
+			avg := testing.AllocsPerRun(50, func() {
+				e.ConsumeBatch(items)
+			})
+			if avg > float64(len(items)) {
+				t.Errorf("steady-state ConsumeBatch allocates %.1f per %d docs, want ≤1/doc", avg, len(items))
+			}
+			if avg > 3 {
+				t.Errorf("steady-state ConsumeBatch allocates %.1f per %d docs, want ~0", avg, len(items))
+			}
+		})
+	}
+}
+
 func TestTickSteadyStateAllocs(t *testing.T) {
 	skipUnderRace(t)
 	cfg := testConfig()

@@ -20,12 +20,13 @@ package core
 import (
 	"context"
 	"runtime"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"enblogue/internal/entity"
+	"enblogue/internal/ingest"
 	"enblogue/internal/intern"
 	"enblogue/internal/pairs"
 	"enblogue/internal/predict"
@@ -93,6 +94,22 @@ type Config struct {
 	// TopK is the ranking length. Zero means 20.
 	TopK int
 
+	// IngestQueueSize bounds the per-engine ingest ring buffer used by
+	// Enqueue (and everything layered on it: enblogue.Run, Hub tenants).
+	// Zero means 8192.
+	IngestQueueSize int
+	// IngestMaxBatch caps the documents one queue drain hands to
+	// ConsumeBatch. Zero means 512; values above IngestQueueSize are
+	// clamped to it.
+	IngestMaxBatch int
+	// IngestFlushInterval bounds how long the drainer waits for a partial
+	// batch to fill once at least one item is queued. Zero means 2ms.
+	IngestFlushInterval time.Duration
+	// IngestDropOldest switches queue backpressure from blocking producers
+	// (the default, which preserves every document) to evicting the oldest
+	// queued items, counted by IngestDropped and surfaced in /v1 stats.
+	IngestDropOldest bool
+
 	// UseEntities merges entity tags into the tag space ("combined with
 	// regular tags to detect tag/entity mixtures as emergent topics").
 	UseEntities bool
@@ -159,6 +176,18 @@ func (c Config) normalize() Config {
 	if c.TopK <= 0 {
 		c.TopK = 20
 	}
+	if c.IngestQueueSize <= 0 {
+		c.IngestQueueSize = 8192
+	}
+	if c.IngestMaxBatch <= 0 {
+		c.IngestMaxBatch = 512
+	}
+	if c.IngestMaxBatch > c.IngestQueueSize {
+		c.IngestMaxBatch = c.IngestQueueSize
+	}
+	if c.IngestFlushInterval <= 0 {
+		c.IngestFlushInterval = 2 * time.Millisecond
+	}
 	return c
 }
 
@@ -220,6 +249,17 @@ type Engine struct {
 	// Only tickLocked touches it, under mu.
 	tick tickScratch
 
+	// batchDocs is ConsumeBatch's pending-document buffer, reused across
+	// calls. Only ConsumeBatch touches it, under mu.
+	batchDocs []pairs.BatchDoc
+
+	// ingest is the optional ring-buffer queue in front of ConsumeBatch,
+	// started lazily by the first Enqueue. ingestDone closes when the
+	// drainer goroutine exits.
+	ingestOnce sync.Once
+	ingest     atomic.Pointer[ingest.Queue]
+	ingestDone chan struct{}
+
 	rankMu sync.Mutex
 	last   Ranking
 
@@ -240,15 +280,20 @@ func New(cfg Config) *Engine {
 			MaxPairs:   c.MaxPairs,
 		})
 	}
+	tags := tagstats.NewTracker(tagstats.Config{
+		Buckets:    c.WindowBuckets,
+		Resolution: c.WindowResolution,
+	})
+	// The interning table is the engine's tag-ID domain; letting the tag
+	// tracker cache resolved IDs per slot spares the evaluation tick one
+	// string hash per active tag (see tagstats.SetTagIDResolver).
+	tags.SetTagIDResolver(intern.Find)
 	return &Engine{
 		dist:   dist,
 		cfg:    c,
 		tick:   newTickScratch(c.Shards),
 		broker: newBroker(c.OnRanking),
-		tags: tagstats.NewTracker(tagstats.Config{
-			Buckets:    c.WindowBuckets,
-			Resolution: c.WindowResolution,
-		}),
+		tags:   tags,
 		pairsTr: pairs.NewShardedTracker(pairs.Config{
 			Buckets:    c.WindowBuckets,
 			Resolution: c.WindowResolution,
@@ -304,13 +349,21 @@ func (e *Engine) Subscribers() int { return e.broker.subscribers() }
 // across all subscriptions because consumers fell behind.
 func (e *Engine) RankingsDropped() int64 { return e.broker.droppedTotal.Load() }
 
-// Close shuts the broker down: it waits for in-flight deliveries to drain,
+// Close shuts the ingest queue (if started) and the broker down: the queue
+// stops accepting items, its drainer consumes whatever is already queued
+// and exits, then the broker waits for in-flight deliveries to drain,
 // stops the dispatcher, and closes every subscription channel. The engine
 // itself remains usable for Consume/Tick/CurrentRanking, but no further
 // rankings are delivered to subscribers or OnRanking. Call Flush first if
 // the final partial tick should still be delivered. Idempotent; must not
 // be called from inside an OnRanking callback.
-func (e *Engine) Close() { e.broker.close() }
+func (e *Engine) Close() {
+	if q := e.ingest.Load(); q != nil {
+		q.Close()
+		<-e.ingestDone
+	}
+	e.broker.close()
+}
 
 // LastEventTime returns the newest event timestamp consumed so far (zero
 // before the first document). Live servers use it to drive wall-clock Ticks
@@ -385,15 +438,166 @@ func (e *Engine) Consume(it *stream.Item) {
 	}
 }
 
-// Flush implements stream.Flusher: it runs a final evaluation tick at the
-// last observed event time — unless an evaluation at (or after) that time
-// already ran, in which case re-evaluating would only feed every pair's
-// predictor a duplicate observation. Flush then blocks until every ranking
-// published so far has been fully delivered (OnRanking callbacks returned,
-// subscription channels fed), establishing a happens-before edge: state
-// written by a callback is safely readable after Flush returns. It must
-// not be called from inside an OnRanking callback.
+// ConsumeBatch feeds a run of items through the engine with rankings
+// bit-identical to calling Consume on each item in order, paying the
+// bookkeeping lock once per batch and each tracker-shard lock once per
+// pair-batch chunk instead of once per document.
+//
+// The batch is processed as segments delimited by the events that change
+// per-document state in the serial path: an evaluation tick or a seed
+// reselection. Documents accumulate as pending pair observations; before
+// any tick fires (ticks snapshot pair counters) and before any seed
+// reselection (reselection changes the candidate predicate for documents
+// observed after it), the pending run is flushed through
+// pairs.ShardedTracker.ObserveBatch with the predicate that was current
+// when those documents arrived — exactly the predicate the serial path
+// would have used, since it only changes at those same two events. Within
+// a segment the serial path's only per-document pair-tracker coupling is
+// sweep timing, which ObserveBatch reproduces exactly (see its equivalence
+// argument).
+//
+// Safe for concurrent use with every other engine method; determinism is
+// promised for a sequentially fed stream, as with Consume.
+func (e *Engine) ConsumeBatch(items []*stream.Item) {
+	if len(items) == 0 {
+		return
+	}
+	e.mu.Lock()
+	pend := e.batchDocs[:0]
+	isSeed := e.seeds.Func()
+	flush := func() {
+		if len(pend) == 0 {
+			return
+		}
+		e.pairsTr.ObserveBatch(pend, isSeed)
+		if e.dist != nil {
+			e.dist.ObserveBatch(pend)
+		}
+		clear(pend) // release tag-slice references
+		pend = pend[:0]
+	}
+	for _, it := range items {
+		if it == nil {
+			continue
+		}
+		t := it.Time
+		tags := e.itemTags(it)
+
+		if t.After(e.LastEventTime()) {
+			e.lastSeenNano.Store(t.UnixNano())
+		}
+		if e.nextTick.IsZero() {
+			e.nextTick = t.Add(e.cfg.TickEvery)
+		}
+		if gap := t.Sub(e.nextTick); gap > 100*e.cfg.TickEvery {
+			flush()
+			e.tickLocked(e.nextTick)
+			e.nextTick = t.Add(e.cfg.TickEvery)
+			isSeed = e.seeds.Func()
+		}
+		for !e.nextTick.After(t) {
+			flush()
+			e.tickLocked(e.nextTick)
+			e.nextTick = e.nextTick.Add(e.cfg.TickEvery)
+			isSeed = e.seeds.Func()
+		}
+
+		e.tags.Observe(t, tags)
+		docs := e.docs.Add(1)
+		if len(e.seeds.Seeds()) == 0 && docs >= int64(e.cfg.SeedWarmupDocs) {
+			// The bootstrap reselection happens between this document's
+			// bookkeeping and its pair observation, exactly as in Consume:
+			// earlier documents flush under the old predicate, this one is
+			// observed under the new.
+			flush()
+			e.seeds.Reselect(e.tags)
+			isSeed = e.seeds.Func()
+		}
+		pend = append(pend, pairs.BatchDoc{Time: t, Tags: tags})
+	}
+	flush()
+	e.batchDocs = pend[:0]
+	e.mu.Unlock()
+}
+
+// Enqueue appends one item to the engine's bounded ingest queue and returns
+// without waiting for it to be consumed: producers never block on tick
+// evaluation. The queue and its drainer goroutine start on first use; the
+// drainer dequeues batches (up to IngestMaxBatch, waiting at most
+// IngestFlushInterval to fill a partial batch) and feeds them through
+// ConsumeBatch, so a single producer's stream yields rankings
+// bit-identical to calling Consume directly. When the ring is full,
+// Enqueue blocks until space frees — or, with IngestDropOldest, evicts the
+// oldest queued items (counted by IngestDropped). Items enqueued after
+// Close are discarded.
+func (e *Engine) Enqueue(it *stream.Item) {
+	if it == nil {
+		return
+	}
+	e.ingestOnce.Do(e.startIngest)
+	e.ingest.Load().Put(it)
+}
+
+// startIngest builds the ingest queue and starts its drainer goroutine.
+func (e *Engine) startIngest() {
+	q := ingest.New(ingest.Config{
+		Size:          e.cfg.IngestQueueSize,
+		MaxBatch:      e.cfg.IngestMaxBatch,
+		FlushInterval: e.cfg.IngestFlushInterval,
+		DropOldest:    e.cfg.IngestDropOldest,
+	})
+	e.ingestDone = make(chan struct{})
+	e.ingest.Store(q)
+	go func() {
+		defer close(e.ingestDone)
+		buf := make([]*stream.Item, 0, e.cfg.IngestMaxBatch)
+		for {
+			batch, ok := q.Drain(buf[:0])
+			if len(batch) > 0 {
+				e.ConsumeBatch(batch)
+				clear(batch)
+				q.Done()
+			}
+			if !ok {
+				return
+			}
+			buf = batch
+		}
+	}()
+}
+
+// IngestDepth returns the number of items waiting in the ingest queue (0
+// when no queue has been started).
+func (e *Engine) IngestDepth() int {
+	if q := e.ingest.Load(); q != nil {
+		return q.Depth()
+	}
+	return 0
+}
+
+// IngestDropped returns the total documents evicted from the ingest queue
+// under the IngestDropOldest policy.
+func (e *Engine) IngestDropped() int64 {
+	if q := e.ingest.Load(); q != nil {
+		return q.Dropped()
+	}
+	return 0
+}
+
+// Flush implements stream.Flusher: it first waits for the ingest queue (if
+// started) to drain — every item enqueued before Flush is consumed — then
+// runs a final evaluation tick at the last observed event time — unless an
+// evaluation at (or after) that time already ran, in which case
+// re-evaluating would only feed every pair's predictor a duplicate
+// observation. Flush then blocks until every ranking published so far has
+// been fully delivered (OnRanking callbacks returned, subscription
+// channels fed), establishing a happens-before edge: state written by a
+// callback is safely readable after Flush returns. It must not be called
+// from inside an OnRanking callback.
 func (e *Engine) Flush() {
+	if q := e.ingest.Load(); q != nil {
+		q.WaitIdle()
+	}
 	e.mu.Lock()
 	if at := e.LastEventTime(); !at.IsZero() && at.After(e.lastTick) {
 		e.tickLocked(at)
@@ -447,69 +651,87 @@ func forEachShard(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// sortTopics orders topics by descending score, ties broken by the pair
-// rendering (compared through Key.Less, which orders exactly like the
-// rendered strings without building them) — the engine's deterministic
-// ranking order.
-func sortTopics(topics []shift.Topic) {
-	sort.Slice(topics, func(i, j int) bool {
-		if topics[i].Score != topics[j].Score {
-			return topics[i].Score > topics[j].Score
+// topicCmp is the engine's deterministic ranking order as a three-way
+// comparator: descending score, ties broken by the pair rendering (compared
+// through Key.Less, which orders exactly like the rendered strings without
+// building them).
+func topicCmp(a, b *shift.Topic) int {
+	if a.Score != b.Score {
+		if a.Score > b.Score {
+			return -1
 		}
-		return topics[i].Pair.Less(topics[j].Pair)
+		return 1
+	}
+	if a.Pair.Less(b.Pair) {
+		return -1
+	}
+	if b.Pair.Less(a.Pair) {
+		return 1
+	}
+	return 0
+}
+
+// sortTopics orders topics under topicCmp.
+func sortTopics(topics []shift.Topic) {
+	slices.SortFunc(topics, func(a, b shift.Topic) int {
+		return topicCmp(&a, &b)
 	})
 }
 
 // topicWorse reports whether a ranks strictly below b in the engine's
 // deterministic ranking order: lower score, ties by pair rendering
 // descending.
-func topicWorse(a, b shift.Topic) bool {
+func topicWorse(a, b *shift.Topic) bool {
 	if a.Score != b.Score {
 		return a.Score < b.Score
 	}
 	return b.Pair.Less(a.Pair)
 }
 
-// topkPush folds t into h, a bounded min-heap of capacity k whose root is
-// the worst kept topic under topicWorse. Selecting the per-shard top-k this
-// way replaces the former sort of every scored topic per shard per tick
-// (O(p log p)) with O(p log k), and the heap slice is reused across ticks.
-// The ranking order is a strict total order (scores tie-broken by distinct
-// pair keys), so the kept set — later sorted by sortTopics — is exactly
-// the prefix a full sort-and-trim would keep.
-func topkPush(h []shift.Topic, k int, t shift.Topic) []shift.Topic {
-	if len(h) < k {
-		h = append(h, t)
-		for i := len(h) - 1; i > 0; {
+// topkPush folds t into a bounded min-heap of capacity k whose root is the
+// worst kept topic under topicWorse. Kept topics live in buf while the heap
+// itself is idx, an array of positions into buf: sift operations swap int32
+// indexes instead of ~100-byte Topic structs, and comparisons read buf in
+// place. Selecting the per-shard top-k this way replaces the former sort of
+// every scored topic per shard per tick (O(p log p)) with O(p log k), and
+// both slices are reused across ticks. The ranking order is a strict total
+// order (scores tie-broken by distinct pair keys), so the kept set — later
+// materialised in topicCmp order — is exactly the prefix a full
+// sort-and-trim would keep.
+func topkPush(buf []shift.Topic, idx []int32, k int, t *shift.Topic) ([]shift.Topic, []int32) {
+	if len(idx) < k {
+		buf = append(buf, *t)
+		idx = append(idx, int32(len(buf)-1))
+		for i := len(idx) - 1; i > 0; {
 			p := (i - 1) / 2
-			if !topicWorse(h[i], h[p]) {
+			if !topicWorse(&buf[idx[i]], &buf[idx[p]]) {
 				break
 			}
-			h[i], h[p] = h[p], h[i]
+			idx[i], idx[p] = idx[p], idx[i]
 			i = p
 		}
-		return h
+		return buf, idx
 	}
-	if !topicWorse(h[0], t) {
-		return h // t is no better than the worst kept topic
+	if !topicWorse(&buf[idx[0]], t) {
+		return buf, idx // t is no better than the worst kept topic
 	}
-	h[0] = t
+	buf[idx[0]] = *t
 	for i := 0; ; {
 		l, r := 2*i+1, 2*i+2
 		m := i
-		if l < len(h) && topicWorse(h[l], h[m]) {
+		if l < len(idx) && topicWorse(&buf[idx[l]], &buf[idx[m]]) {
 			m = l
 		}
-		if r < len(h) && topicWorse(h[r], h[m]) {
+		if r < len(idx) && topicWorse(&buf[idx[r]], &buf[idx[m]]) {
 			m = r
 		}
 		if m == i {
 			break
 		}
-		h[i], h[m] = h[m], h[i]
+		idx[i], idx[m] = idx[m], idx[i]
 		i = m
 	}
-	return h
+	return buf, idx
 }
 
 // tickScratch is the engine's reusable per-tick working set; see the
@@ -524,13 +746,22 @@ type tickScratch struct {
 	epoch      uint32
 	snaps      [][]pairs.PairCount
 	tops       [][]shift.Topic
-	merged     []shift.Topic
+	// heapBuf and heapIdx are the per-shard topkPush working sets: kept
+	// topics and the index heap over them.
+	heapBuf [][]shift.Topic
+	heapIdx [][]int32
+	merged  []shift.Topic
+	// topStats is the seed-selection buffer handed to tagstats.TopAppend,
+	// reused across ticks like every other buffer here.
+	topStats []tagstats.TagStat
 }
 
 func newTickScratch(shards int) tickScratch {
 	return tickScratch{
-		snaps: make([][]pairs.PairCount, shards),
-		tops:  make([][]shift.Topic, shards),
+		snaps:   make([][]pairs.PairCount, shards),
+		tops:    make([][]shift.Topic, shards),
+		heapBuf: make([][]shift.Topic, shards),
+		heapIdx: make([][]int32, shards),
 	}
 }
 
@@ -574,7 +805,6 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	if t.After(e.lastTick) {
 		e.lastTick = t
 	}
-	seeds := e.seeds.Reselect(e.tags)
 
 	n := e.tags.DocCount()
 	// One snapshot per tick of whatever the workers will read — tag counts
@@ -582,22 +812,29 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	// (and mutate, or serialise on) the shared trackers. The default-mode
 	// count index is keyed by interned tag ID and reused across ticks:
 	// workers then look pair members up by uint32 instead of hashing two
-	// strings per pair.
+	// strings per pair. Seed reselection is fused into the same pass over
+	// the tag statistics (one map iteration per tick, not two), selecting
+	// through a bounded heap with exactly Top's ordering.
 	ts := &e.tick
+	var seeds []string
 	var dists map[string]map[string]float64
 	if e.dist == nil {
 		ts.beginCounts()
-		e.tags.ForEachCount(func(tag string, v float64) {
-			// Find, not Intern: ID assignment happens only on the ingest
-			// path, in first-seen stream order, so replays shard
-			// identically. A tag with no ID was never part of any
-			// candidate pair (only ≥2-tag documents intern), so its count
-			// can never be read by the evaluation below.
-			if id, ok := intern.Find(tag); ok {
-				ts.setCount(id, v)
-			}
-		})
+		ts.topStats = e.tags.TopAppend(e.seeds.K, e.seeds.Criterion, e.seeds.MinCount,
+			ts.topStats[:0], func(tag string, id uint32, v float64) {
+				// IDs resolve through intern.Find (installed as the tracker's
+				// resolver at construction), not Intern: ID assignment happens
+				// only on the ingest path, in first-seen stream order, so
+				// replays shard identically. A tag with no ID was never part
+				// of any candidate pair (only ≥2-tag documents intern), so its
+				// count can never be read by the evaluation below.
+				if id != tagstats.NoID {
+					ts.setCount(id, v)
+				}
+			})
+		seeds = e.seeds.ReselectFrom(ts.topStats)
 	} else {
+		seeds = e.seeds.Reselect(e.tags)
 		dists = e.dist.Snapshot()
 	}
 
@@ -621,27 +858,46 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	eval := func(i int) {
 		snap := ts.snaps[i]
 		det := e.det.Shard(i)
-		top := ts.tops[i][:0]
+		hbuf, hidx := ts.heapBuf[i][:0], ts.heapIdx[i][:0]
+		// One Topic reused across the whole shard: the detector assigns
+		// every field when it fills it, and topkPush copies only when the
+		// topic is actually kept. The running heap root is fed back to the
+		// detector as the admission floor, so a pair that provably cannot
+		// reach the shard's current top-k (its undecayed score bound is
+		// below the root) updates its predictor state and returns without
+		// ever materialising a Topic or computing an exponential — the
+		// selected set is exactly what an unfloored evaluation would select.
+		var topic shift.Topic
+		floor := 0.0
 		for _, pc := range snap {
-			var topic shift.Topic
+			var filled bool
 			if e.dist != nil {
 				tag1, tag2 := pc.Key.Tags()
-				topic = det.EvaluateCorrelation(t, pc.Key,
-					pairs.SimilarityFrom(dists, tag1, tag2), pc.Count)
+				filled = det.EvaluateCorrelationInto(t, pc.Key, pc.Slot,
+					pairs.SimilarityFrom(dists, tag1, tag2), pc.Count, floor, &topic)
 			} else {
 				ida, idb := pc.Key.IDs()
-				topic = det.Evaluate(t, pc.Key, pc.Count,
-					ts.count(ida), ts.count(idb), n)
+				filled = det.EvaluateInto(t, pc.Key, pc.Slot, pc.Count,
+					ts.count(ida), ts.count(idb), n, floor, &topic)
 			}
-			if topic.Score > 0 {
-				top = topkPush(top, e.cfg.TopK, topic)
+			if filled && topic.Score > 0 {
+				hbuf, hidx = topkPush(hbuf, hidx, e.cfg.TopK, &topic)
+				if len(hidx) == e.cfg.TopK {
+					floor = hbuf[hidx[0]].Score
+				}
 			}
 		}
-		sortTopics(top)
+		// Materialise the kept set best-first: sort the index heap (int32
+		// swaps, in-place reads) and copy each topic out once.
+		slices.SortFunc(hidx, func(a, b int32) int { return topicCmp(&hbuf[a], &hbuf[b]) })
+		top := ts.tops[i][:0]
+		for _, j := range hidx {
+			top = append(top, hbuf[j])
+		}
 		// Every pair just evaluated carries seen == t, so the stale sweep
 		// is exactly the old keep-map sweep without building a keep set.
 		det.SweepStale(t, 1e-9)
-		ts.tops[i] = top
+		ts.heapBuf[i], ts.heapIdx[i], ts.tops[i] = hbuf, hidx, top
 	}
 	forEachShard(nsh, eval)
 

@@ -72,9 +72,36 @@ func ParseMeasure(name string) (Measure, error) {
 	return 0, fmt.Errorf("pairs: unknown measure %q", name)
 }
 
+// ComputeJaccard is Compute specialised to the default measure, carved out
+// so the per-pair evaluation loop can inline it — the full Compute's switch
+// is over the inlining budget. Results are identical to
+// Jaccard.Compute(nab, na, nb, n), clamps included.
+func ComputeJaccard(nab, na, nb, n float64) float64 {
+	if nab < 0 || na <= 0 || nb <= 0 {
+		return 0
+	}
+	if nab > na {
+		nab = na
+	}
+	if nab > nb {
+		nab = nb
+	}
+	if n > 0 && nab > n {
+		nab = n
+	}
+	union := na + nb - nab
+	if union <= 0 {
+		return 0
+	}
+	return nab / union
+}
+
 // Compute evaluates the measure on windowed counts. Counts are clamped to
 // consistency before use: nab may not exceed na, nb, or n.
 func (m Measure) Compute(nab, na, nb, n float64) float64 {
+	if m == Jaccard {
+		return ComputeJaccard(nab, na, nb, n)
+	}
 	if nab < 0 || na <= 0 || nb <= 0 {
 		return 0
 	}
@@ -88,12 +115,6 @@ func (m Measure) Compute(nab, na, nb, n float64) float64 {
 		nab = n
 	}
 	switch m {
-	case Jaccard:
-		union := na + nb - nab
-		if union <= 0 {
-			return 0
-		}
-		return nab / union
 	case Dice:
 		return 2 * nab / (na + nb)
 	case Cosine:

@@ -10,10 +10,13 @@ import (
 )
 
 // PairCount is one tracked pair and its windowed co-occurrence count, as
-// returned by ShardedTracker.Snapshot.
+// returned by ShardedTracker.Snapshot. Slot is the pair's arena slot within
+// its shard — stable for the pair's whole tracked lifetime — which the
+// engine forwards to the shift detector as a state-cache hint.
 type PairCount struct {
 	Key   Key
 	Count float64
+	Slot  int32
 }
 
 // trackerShard owns one partition of the pair space: an ID-keyed slot map
@@ -26,6 +29,13 @@ type trackerShard struct {
 	mu    sync.Mutex
 	slots map[Key]int32
 	arena *window.CounterArena
+	// keys is the reverse index: keys[slot] names the pair occupying that
+	// arena slot, zero Key for free slots (a valid pair key is never zero —
+	// interned IDs are biased by +1 before packing). Snapshots walk it in
+	// slot order, turning the per-tick scan into sequential slab reads
+	// instead of a map iteration; slot order is insertion-stable across
+	// ticks, which also keeps downstream detector-state access sequential.
+	keys []Key
 }
 
 // ShardedTracker is the concurrent counterpart of Tracker: the pair space is
@@ -88,7 +98,11 @@ func (tr *ShardedTracker) now() time.Time {
 
 // advanceNow lifts the global clock to t if t is newer.
 func (tr *ShardedTracker) advanceNow(t time.Time) {
-	n := t.UnixNano()
+	tr.advanceNowNano(t.UnixNano())
+}
+
+// advanceNowNano is advanceNow on a pre-converted unix-nano timestamp.
+func (tr *ShardedTracker) advanceNowNano(n int64) {
 	for {
 		cur := tr.nowNano.Load()
 		if n <= cur && cur != 0 {
@@ -199,13 +213,32 @@ func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string
 // incLocked upserts pair k's counter slot in sh and records the event at
 // time t. The caller must hold sh.mu.
 func (tr *ShardedTracker) incLocked(sh *trackerShard, k Key, t time.Time) {
+	tr.incLockedAbs(sh, k, sh.arena.BucketIndex(t))
+}
+
+// incLockedAbs is incLocked with the event time pre-converted to an
+// absolute bucket index — the batch path converts once per document. The
+// caller must hold sh.mu.
+func (tr *ShardedTracker) incLockedAbs(sh *trackerShard, k Key, abs int64) {
 	slot, ok := sh.slots[k]
 	if !ok {
 		slot = sh.arena.Alloc()
 		sh.slots[k] = slot
+		for int(slot) >= len(sh.keys) {
+			sh.keys = append(sh.keys, Key{})
+		}
+		sh.keys[slot] = k
 		tr.npairs.Add(1)
 	}
-	sh.arena.Inc(slot, t)
+	sh.arena.IncAbs(slot, abs)
+}
+
+// dropLocked removes pair k's slot from sh. The caller must hold sh.mu.
+func (tr *ShardedTracker) dropLocked(sh *trackerShard, k Key, slot int32) {
+	delete(sh.slots, k)
+	sh.keys[slot] = Key{}
+	sh.arena.Release(slot)
+	tr.npairs.Add(-1)
 }
 
 // sweepDue reports whether a sweep trigger is pending.
@@ -233,11 +266,12 @@ func (tr *ShardedTracker) sweepLocked() {
 	}
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
-		for k, slot := range sh.slots {
-			if sh.arena.ValueAt(slot, now) == 0 {
-				delete(sh.slots, k)
-				sh.arena.Release(slot)
-				tr.npairs.Add(-1)
+		for slot, k := range sh.keys {
+			if k == (Key{}) {
+				continue
+			}
+			if sh.arena.ValueAt(int32(slot), now) == 0 {
+				tr.dropLocked(sh, k, int32(slot))
 			}
 		}
 		sh.mu.Unlock()
@@ -259,9 +293,7 @@ func (tr *ShardedTracker) sweepLocked() {
 		sh := tr.shards[k.Shard(len(tr.shards))]
 		sh.mu.Lock()
 		if slot, ok := sh.slots[k]; ok {
-			delete(sh.slots, k)
-			sh.arena.Release(slot)
-			tr.npairs.Add(-1)
+			tr.dropLocked(sh, k, slot)
 		}
 		sh.mu.Unlock()
 	})
@@ -323,6 +355,14 @@ func (tr *ShardedTracker) Snapshot(i int) []PairCount {
 // tracker clock — to buf and returns it. Evaluation workers pass a
 // per-shard buffer reused across ticks (buf[:0]) so the steady-state tick
 // allocates nothing for snapshots.
+//
+// Pairs are emitted in arena slot order (via the reverse key index), not
+// map order: the walk reads the counter slabs sequentially, and the order
+// is insertion-stable across ticks so downstream per-pair state allocated
+// in first-snapshot order is also visited sequentially. Snapshot order
+// cannot affect rankings — per-pair evaluation is independent, and every
+// downstream selection (top-k heaps, final sorts) uses a strict total
+// order, so any input order yields the same ranking.
 func (tr *ShardedTracker) AppendSnapshot(i int, buf []PairCount) []PairCount {
 	sh := tr.shards[i]
 	now := tr.now()
@@ -334,13 +374,20 @@ func (tr *ShardedTracker) AppendSnapshot(i int, buf []PairCount) []PairCount {
 		buf = grown
 	}
 	if now.IsZero() {
-		for k, slot := range sh.slots {
-			buf = append(buf, PairCount{Key: k, Count: sh.arena.Value(slot)})
+		for slot, k := range sh.keys {
+			if k == (Key{}) {
+				continue
+			}
+			buf = append(buf, PairCount{Key: k, Count: sh.arena.Value(int32(slot)), Slot: int32(slot)})
 		}
 		return buf
 	}
-	for k, slot := range sh.slots {
-		buf = append(buf, PairCount{Key: k, Count: sh.arena.ValueAt(slot, now)})
+	abs := sh.arena.BucketIndex(now) // one conversion for the whole walk
+	for slot, k := range sh.keys {
+		if k == (Key{}) {
+			continue
+		}
+		buf = append(buf, PairCount{Key: k, Count: sh.arena.PeekAbs(int32(slot), abs), Slot: int32(slot)})
 	}
 	return buf
 }

@@ -338,6 +338,23 @@ func NewDistTracker(cfg Config) *DistTracker {
 func (dt *DistTracker) Observe(t time.Time, tags []string) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
+	dt.observeLocked(t, tags)
+}
+
+// ObserveBatch records a run of documents in order under a single lock
+// acquisition. Per-document semantics — including sweep timing, which is
+// checked inside the lock after every document exactly as Observe does —
+// are identical to calling Observe per document.
+func (dt *DistTracker) ObserveBatch(docs []BatchDoc) {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	for _, d := range docs {
+		dt.observeLocked(d.Time, d.Tags)
+	}
+}
+
+// observeLocked is Observe's body; callers must hold dt.mu.
+func (dt *DistTracker) observeLocked(t time.Time, tags []string) {
 	if t.After(dt.now) {
 		dt.now = t
 	}

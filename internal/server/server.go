@@ -43,6 +43,9 @@ type Engine interface {
 	RankingsDropped() int64
 	Subscribe(ctx context.Context, opts ...core.SubOption) *core.Subscription
 	Consume(it *stream.Item)
+	ConsumeBatch(items []*stream.Item)
+	IngestDepth() int
+	IngestDropped() int64
 }
 
 // TopicView is the wire form of one ranked emergent topic.
@@ -399,6 +402,8 @@ type StatsView struct {
 	Profiles        int       `json:"profiles"`
 	Subscriptions   int       `json:"subscriptions"`
 	RankingsDropped int64     `json:"rankingsDropped"`
+	IngestDepth     int       `json:"ingestDepth"`
+	IngestDropped   int64     `json:"ingestDropped"`
 	Tenant          string    `json:"tenant"`
 	Uptime          float64   `json:"uptime"`
 }
@@ -573,6 +578,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		view.LastEventTime = e.LastEventTime()
 		view.Subscriptions = e.Subscribers()
 		view.RankingsDropped = e.RankingsDropped()
+		view.IngestDepth = e.IngestDepth()
+		view.IngestDropped = e.IngestDropped()
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(view); err != nil {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"enblogue/internal/core"
+	"enblogue/internal/source"
 )
 
 // hubOpener adapts a core.Hub to the server's Opener interface, exactly as
@@ -19,8 +20,8 @@ type hubOpener struct{ hub *core.Hub }
 func (o hubOpener) Open(name string) (Engine, error) { return o.hub.Open(name) }
 func (o hubOpener) CloseTenant(name string) bool     { return o.hub.CloseTenant(name) }
 
-func testHub() *core.Hub {
-	return core.NewHub(core.HubConfig{Defaults: core.Config{
+func testHubDefaults() core.Config {
+	return core.Config{
 		WindowBuckets:    6,
 		WindowResolution: time.Hour,
 		SeedCount:        10,
@@ -28,7 +29,11 @@ func testHub() *core.Hub {
 		MinCooccurrence:  2,
 		TopK:             5,
 		Shards:           2,
-	}})
+	}
+}
+
+func testHub() *core.Hub {
+	return core.NewHub(core.HubConfig{Defaults: testHubDefaults()})
 }
 
 func del(t *testing.T, h http.Handler, path string) *httptest.ResponseRecorder {
@@ -219,6 +224,74 @@ func TestTenantIngestEndToEnd(t *testing.T) {
 	}
 	if iv2.Consumed != 1 || iv2.Skipped != 1 || e.DocsProcessed() != before+1 {
 		t.Errorf("over-tagged doc handling = %+v (docs %d -> %d)", iv2, before, e.DocsProcessed())
+	}
+}
+
+// TestTenantIngestBatchedParity pins the wire-level half of the batched
+// determinism contract: a JSONL body fed through POST items (which
+// consumes the whole request in one ConsumeBatch) must leave the tenant's
+// engine with exactly the ranking a per-document Consume loop over the
+// same stream produces — and the ingest queue counters must surface in
+// the tenant's stats view.
+func TestTenantIngestBatchedParity(t *testing.T) {
+	hub := testHub()
+	defer hub.Close()
+	s := New()
+	defer s.Close()
+	s.AttachOpener(hubOpener{hub})
+	h := s.Handler()
+
+	if w := postJSON(t, h, "/v1/tenants", `{"name":"wire"}`); w.Code != http.StatusCreated {
+		t.Fatalf("create tenant = %d", w.Code)
+	}
+	body := jsonlItems(t, 8)
+	if w := postJSON(t, h, "/v1/tenants/wire/items", body); w.Code != http.StatusOK {
+		t.Fatalf("POST items = %d", w.Code)
+	}
+	e, ok := hub.Get("wire")
+	if !ok {
+		t.Fatal("hub lost the tenant engine")
+	}
+	e.Flush()
+	got := e.CurrentRanking()
+
+	// Reference: the same stream consumed one document at a time by an
+	// engine built from the same hub defaults.
+	ref := core.New(testHubDefaults())
+	defer ref.Close()
+	docs, skipped, err := source.ReadJSONL(strings.NewReader(body), false)
+	if err != nil || skipped != 0 {
+		t.Fatalf("re-parsing ingest body: %v (skipped %d)", err, skipped)
+	}
+	for i := range docs {
+		ref.Consume(docs[i].Item())
+	}
+	ref.Flush()
+	want := ref.CurrentRanking()
+
+	if !got.At.Equal(want.At) || len(got.Topics) != len(want.Topics) {
+		t.Fatalf("batched wire ingest ranking (at %v, %d topics) != serial (at %v, %d topics)",
+			got.At, len(got.Topics), want.At, len(want.Topics))
+	}
+	for i := range want.Topics {
+		if got.Topics[i].Pair != want.Topics[i].Pair || got.Topics[i].Score != want.Topics[i].Score {
+			t.Fatalf("topic %d diverges: %+v vs %+v", i, got.Topics[i], want.Topics[i])
+		}
+	}
+
+	// The stats view carries the ingest queue gauges (zero here: the wire
+	// path consumes synchronously, no queue ever starts).
+	w := get(t, h, "/v1/tenants/wire/stats")
+	var sv StatsView
+	if err := json.Unmarshal(w.Body.Bytes(), &sv); err != nil {
+		t.Fatal(err)
+	}
+	if sv.IngestDepth != 0 || sv.IngestDropped != 0 {
+		t.Errorf("(ingestDepth, ingestDropped) = (%d, %d), want (0, 0)", sv.IngestDepth, sv.IngestDropped)
+	}
+	if !strings.Contains(w.Body.String(), `"ingestDepth"`) ||
+		!strings.Contains(w.Body.String(), `"ingestDropped"`) {
+		t.Errorf("stats JSON missing ingest gauges: %s", w.Body)
 	}
 }
 

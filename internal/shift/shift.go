@@ -11,6 +11,7 @@
 package shift
 
 import (
+	"math"
 	"time"
 
 	"enblogue/internal/pairs"
@@ -71,35 +72,141 @@ type Topic struct {
 	Warmup bool
 }
 
-// state is the per-pair incremental detector state. Decay is embedded by
-// value so a new pair costs one state allocation, not two.
+// state is the per-pair incremental detector state. States live in a dense
+// slab (Detector.states) rather than behind one heap pointer each: the
+// evaluation tick walks tens of thousands of them, and slab entries touched
+// in snapshot order stay cache-resident where pointer-chased heap objects
+// would not. key doubles as the liveness flag — a zero pairs.Key never
+// names a real pair (interned IDs are biased by +1 before packing), so
+// key == pairs.Key{} marks a free slab entry.
 type state struct {
-	pred  predict.Predictor
+	key pairs.Key
+	// naive is the inlined default predictor: when the detector is
+	// configured with predict.KindNaive (the default), the forecaster
+	// state lives here by value — no per-pair predictor allocation and no
+	// interface-call indirection on the hot loop. Any other kind allocates
+	// through predict.New into the detector's side slice Detector.preds,
+	// keyed by slab index: keeping the interface out of this struct keeps
+	// the slab pointer-free (the garbage collector never scans it) and
+	// shaves two words off every entry the evaluation tick streams over.
+	naive predict.Naive
 	decay window.Decay
-	seen  time.Time
+	// seenNano is the unix-nano stamp of the last evaluation tick that
+	// touched this pair — an int64 rather than a time.Time so the per-pair
+	// store on the evaluation hot loop is barrier-free.
+	seenNano int64
+	// keepUntilNano caches decay.KeepUntilNano(minScore) between sweeps: a
+	// stale pair's decay state does not change while it is stale, so one
+	// log2 buys every subsequent sweep a plain integer comparison instead
+	// of an exponential. Zero means unknown; reset whenever decay updates.
+	keepUntilNano int64
 }
 
 // Detector maintains per-pair predictors and decayed score maxima. It is
 // not safe for concurrent use.
 type Detector struct {
-	cfg    Config
-	states map[pairs.Key]*state
-	// curTick and tickCount track evaluation rounds: pairs first seen on
-	// round one get a silent warm-up (the detector has no history for
+	cfg      Config
+	useNaive bool
+	// index maps a pair to its slab position; states is the slab itself
+	// with free entries (zero key) chained through free. preds carries the
+	// non-naive predictors parallel to states (see state.naive); it stays
+	// nil under the default naive predictor.
+	index  map[pairs.Key]int32
+	states []state
+	preds  []predict.Predictor
+	free   []int32
+	// cache memoizes the per-tick decay factor shared by every pair
+	// evaluated with the same elapsed duration.
+	cache window.DecayCache
+	// bySlot caches, per caller-provided slot hint, the slab index the
+	// hint last resolved to. The engine's evaluation loop feeds each pair's
+	// tracker arena slot as the hint: a slot names the same pair for the
+	// pair's whole tracked lifetime, so after a pair's first evaluation the
+	// hint resolves its detector state with one array read plus a key
+	// compare instead of a map probe — no positional bookkeeping, immune to
+	// pair insertion and eviction churn. A stale entry (slot reused by a
+	// different pair, or the state released) fails the key validation and
+	// falls back to the map, which rewrites the entry; a hit can therefore
+	// never resolve to the wrong pair. -1 marks a never-written entry.
+	bySlot []int32
+	// curTickNano and tickCount track evaluation rounds: pairs first seen
+	// on round one get a silent warm-up (the detector has no history for
 	// anything yet), while pairs appearing on later rounds are scored
 	// against an implicit previous correlation of zero — they were not
-	// tracked before precisely because their tags never co-occurred.
-	curTick   time.Time
-	tickCount int
+	// tracked before precisely because their tags never co-occurred. The
+	// round clock is a unix-nano wall stamp, not a time.Time: the advance
+	// check runs once per pair evaluation, and an integer compare skips
+	// time.After's monotonic-clock resolution.
+	curTickNano int64
+	tickCount   int
 }
 
 // NewDetector returns a detector with the given configuration.
 func NewDetector(cfg Config) *Detector {
-	return &Detector{cfg: cfg.withDefaults(), states: make(map[pairs.Key]*state)}
+	c := cfg.withDefaults()
+	return &Detector{
+		cfg:      c,
+		useNaive: c.Predictor == predict.KindNaive,
+		index:    make(map[pairs.Key]int32),
+		// Zero times carry a large negative UnixNano, so "unset" must sit
+		// below any representable stamp for the first tick to advance.
+		curTickNano: math.MinInt64,
+	}
 }
 
 // Config returns the effective (defaulted) configuration.
 func (d *Detector) Config() Config { return d.cfg }
+
+// alloc returns a fresh zeroed slab position for pair k.
+func (d *Detector) alloc(k pairs.Key) (*state, int32) {
+	var i int32
+	if n := len(d.free); n > 0 {
+		i = d.free[n-1]
+		d.free = d.free[:n-1]
+	} else {
+		i = int32(len(d.states))
+		d.states = append(d.states, state{})
+	}
+	st := &d.states[i]
+	*st = state{key: k, decay: window.MakeDecay(d.cfg.HalfLife)}
+	if !d.useNaive {
+		for int(i) >= len(d.preds) {
+			d.preds = append(d.preds, nil)
+		}
+		d.preds[i] = predict.New(d.cfg.Predictor, d.cfg.PredictorConfig)
+	}
+	d.index[k] = i
+	return st, i
+}
+
+// release frees the slab entry at position i after removing its pair from
+// the index.
+func (d *Detector) release(i int32) {
+	st := &d.states[i]
+	delete(d.index, st.key)
+	*st = state{}
+	if !d.useNaive {
+		d.preds[i] = nil
+	}
+	d.free = append(d.free, i)
+}
+
+// predict consults the pair's forecaster.
+func (d *Detector) predict(st *state, i int32) (float64, bool) {
+	if d.useNaive {
+		return st.naive.Predict()
+	}
+	return d.preds[i].Predict()
+}
+
+// observe feeds the pair's forecaster the measured correlation.
+func (d *Detector) observe(st *state, i int32, corr float64) {
+	if d.useNaive {
+		st.naive.Observe(corr)
+	} else {
+		d.preds[i].Observe(corr)
+	}
+}
 
 // BeginTick advances the detector's evaluation-round clock to t without
 // evaluating anything. Sharded engines call it on every shard detector at
@@ -110,8 +217,8 @@ func (d *Detector) Config() Config { return d.cfg }
 // Evaluate and EvaluateCorrelation advance the clock themselves, so callers
 // evaluating through a single detector never need BeginTick.
 func (d *Detector) BeginTick(t time.Time) {
-	if t.After(d.curTick) {
-		d.curTick = t
+	if tn := t.UnixNano(); tn > d.curTickNano {
+		d.curTickNano = tn
 		d.tickCount++
 	}
 }
@@ -121,7 +228,25 @@ func (d *Detector) BeginTick(t time.Time) {
 // pair's predictor with the measured correlation and returns the tick's
 // Topic. Call once per pair per tick, with monotonically non-decreasing t.
 func (d *Detector) Evaluate(t time.Time, k pairs.Key, nab, na, nb, n float64) Topic {
-	return d.EvaluateCorrelation(t, k, d.cfg.Measure.Compute(nab, na, nb, n), nab)
+	var topic Topic
+	d.EvaluateCorrelationInto(t, k, -1, d.cfg.Measure.Compute(nab, na, nb, n), nab, -1, &topic)
+	return topic
+}
+
+// EvaluateInto is Evaluate writing the result through out instead of
+// returning it, with a slot hint and an admission floor: the engine's
+// per-shard evaluation loop reuses one Topic across tens of thousands of
+// pairs per tick, so the ~100-byte struct is not copied through two return
+// frames per pair. It reports whether out was filled; see
+// EvaluateCorrelationInto for the hint and floor contracts.
+func (d *Detector) EvaluateInto(t time.Time, k pairs.Key, hint int32, nab, na, nb, n, floor float64, out *Topic) bool {
+	var corr float64
+	if d.cfg.Measure == pairs.Jaccard {
+		corr = pairs.ComputeJaccard(nab, na, nb, n) // inlines; Compute's switch does not
+	} else {
+		corr = d.cfg.Measure.Compute(nab, na, nb, n)
+	}
+	return d.EvaluateCorrelationInto(t, k, hint, corr, nab, floor, out)
 }
 
 // EvaluateCorrelation scores pair k against a correlation computed by the
@@ -130,30 +255,81 @@ func (d *Detector) Evaluate(t time.Time, k pairs.Key, nab, na, nb, n float64) To
 // (pairs.DistTracker). nab is still the windowed co-occurrence count, used
 // for the significance floor. Semantics otherwise match Evaluate.
 func (d *Detector) EvaluateCorrelation(t time.Time, k pairs.Key, corr, nab float64) Topic {
-	if t.After(d.curTick) {
-		d.curTick = t
+	var topic Topic
+	d.EvaluateCorrelationInto(t, k, -1, corr, nab, -1, &topic)
+	return topic
+}
+
+// EvaluateCorrelationInto is EvaluateCorrelation through an out parameter;
+// see EvaluateInto. It reports whether out was filled (every field assigned,
+// so a reused out carries nothing over from the previous pair).
+//
+// hint, when >= 0, is a caller-provided stable small integer identity for
+// the pair — the engine passes the pair's tracker arena slot, which names
+// the same pair for as long as the pair is tracked. The detector caches the
+// hint → state resolution (see bySlot) so steady-state evaluation skips the
+// map probe; a hint that no longer matches (slot reused, state released) is
+// detected by key comparison and merely costs the map fallback it would
+// have cost anyway. hint < 0 disables the cache for that call. Results are
+// identical either way.
+//
+// floor is an admission threshold for callers that only keep topics scoring
+// strictly above it (a running top-k heap root). The tick's score is
+// max(decayed history, current error) and the decayed history is strictly
+// below the stored Decay.Value for any positive elapsed time, so
+// max(Value, error) upper-bounds the score without computing an
+// exponential. When floor >= 0 and that bound is zero or below floor, the
+// pair cannot score above the floor: the predictor and seen stamp are
+// updated exactly as usual, a positive error still folds into the decayed
+// history, but the Topic is not materialised and false is returned. A
+// caller that keeps only Score > floor topics therefore selects exactly the
+// topics it would have selected with floor < 0 (which disables skipping and
+// always fills out).
+//
+// One deliberate economy: when the bound rejects a pair and its current
+// error is zero, the decay is left untouched rather than decayed-in-place
+// to t. Exponential decay composes across ticks — value·2^(-(a+b)/hl)
+// versus (value·2^(-a/hl))·2^(-b/hl) — so the eventually-read score differs
+// only by floating-point rounding in the last ulps, far below any ranking
+// threshold; the stored value remains a valid upper bound either way (it
+// only ever over-estimates), so admission decisions stay conservative and
+// no pair is ever skipped that could have ranked.
+func (d *Detector) EvaluateCorrelationInto(t time.Time, k pairs.Key, hint int32, corr, nab, floor float64, out *Topic) bool {
+	tn := t.UnixNano()
+	if tn > d.curTickNano {
+		d.curTickNano = tn
 		d.tickCount++
 	}
-	st, ok := d.states[k]
-	firstEval := !ok
-	if !ok {
-		st = &state{
-			pred:  predict.New(d.cfg.Predictor, d.cfg.PredictorConfig),
-			decay: window.MakeDecay(d.cfg.HalfLife),
+
+	// Resolve the pair's slab entry: slot-hint cache first, map on a miss.
+	var st *state
+	var i int32
+	firstEval := false
+	if hint >= 0 && int(hint) < len(d.bySlot) {
+		if j := d.bySlot[hint]; j >= 0 && d.states[j].key == k {
+			i, st = j, &d.states[j]
 		}
-		d.states[k] = st
 	}
-	st.seen = t
-
-	topic := Topic{
-		Pair:         k,
-		Correlation:  corr,
-		Cooccurrence: nab,
-		At:           t,
+	if st == nil {
+		var ok bool
+		i, ok = d.index[k]
+		if !ok {
+			firstEval = true
+			st, i = d.alloc(k)
+		} else {
+			st = &d.states[i]
+		}
+		if hint >= 0 {
+			for int(hint) >= len(d.bySlot) {
+				d.bySlot = append(d.bySlot, -1)
+			}
+			d.bySlot[hint] = i
+		}
 	}
+	st.seenNano = tn
 
-	predicted, ready := st.pred.Predict()
-	st.pred.Observe(corr)
+	predicted, ready := d.predict(st, i)
+	d.observe(st, i, corr)
 
 	if !ready {
 		// A pair first evaluated after round one has an implicit history
@@ -163,12 +339,22 @@ func (d *Detector) EvaluateCorrelation(t time.Time, k pairs.Key, corr, nab float
 		if firstEval && d.tickCount > 1 {
 			predicted = 0
 		} else {
-			topic.Warmup = true
-			topic.Score = st.decay.At(t)
-			return topic
+			if floor >= 0 {
+				if v := st.decay.Value(); v == 0 || v < floor {
+					return false
+				}
+			}
+			out.Pair = k
+			out.Score = st.decay.AtCachedNano(tn, &d.cache)
+			out.Correlation = corr
+			out.Predicted = 0
+			out.Error = 0
+			out.Cooccurrence = nab
+			out.At = t
+			out.Warmup = true
+			return true
 		}
 	}
-	topic.Predicted = predicted
 
 	errv := corr - predicted
 	if !d.cfg.UpOnly && errv < 0 {
@@ -182,37 +368,65 @@ func (d *Detector) EvaluateCorrelation(t time.Time, k pairs.Key, corr, nab float
 	if nab < d.cfg.MinCooccurrence {
 		errv = 0
 	}
-	topic.Error = errv
-	topic.Score = st.decay.Update(t, errv)
-	return topic
+	if floor >= 0 {
+		upper := st.decay.Value()
+		if errv > upper {
+			upper = errv
+		}
+		if upper == 0 || upper < floor {
+			if errv > 0 {
+				st.decay.UpdateCachedNano(tn, errv, &d.cache)
+				st.keepUntilNano = 0
+			}
+			return false
+		}
+	}
+	out.Pair = k
+	out.Correlation = corr
+	out.Predicted = predicted
+	out.Error = errv
+	out.Cooccurrence = nab
+	out.At = t
+	out.Warmup = false
+	out.Score = st.decay.UpdateCachedNano(tn, errv, &d.cache)
+	st.keepUntilNano = 0
+	return true
 }
 
 // Score returns the current decayed score of pair k at time t without
 // updating any state.
 func (d *Detector) Score(t time.Time, k pairs.Key) float64 {
-	st, ok := d.states[k]
+	i, ok := d.index[k]
 	if !ok {
 		return 0
 	}
-	return st.decay.At(t)
+	return d.states[i].decay.At(t)
 }
 
 // ActiveStates returns the number of pairs with detector state.
-func (d *Detector) ActiveStates() int { return len(d.states) }
+func (d *Detector) ActiveStates() int { return len(d.index) }
 
 // Forget drops the state of pair k.
-func (d *Detector) Forget(k pairs.Key) { delete(d.states, k) }
+func (d *Detector) Forget(k pairs.Key) {
+	if i, ok := d.index[k]; ok {
+		d.release(i)
+	}
+}
 
 // Sweep drops state for pairs not in keep and for pairs whose decayed score
 // at time t has fallen below minScore — both conditions bound memory to
 // pairs that still matter.
 func (d *Detector) Sweep(t time.Time, keep map[pairs.Key]bool, minScore float64) {
-	for k, st := range d.states {
-		if keep != nil && keep[k] {
+	for i := range d.states {
+		st := &d.states[i]
+		if st.key == (pairs.Key{}) {
+			continue
+		}
+		if keep != nil && keep[st.key] {
 			continue
 		}
 		if st.decay.At(t) < minScore {
-			delete(d.states, k)
+			d.release(int32(i))
 		}
 	}
 }
@@ -222,13 +436,28 @@ func (d *Detector) Sweep(t time.Time, keep map[pairs.Key]bool, minScore float64)
 // decayed score has fallen below minScore. An engine that has just
 // evaluated a snapshot at t gets exactly Sweep's keep-map semantics — every
 // evaluated pair carries seen == t — without building a keep set per tick.
+//
+// A stale pair lingers until its decayed score crosses minScore, which with
+// the paper's 2-day half-life can take weeks of ticks. Its decay state is
+// frozen while stale, so the first keep decision caches a conservative
+// deadline (Decay.KeepUntilNano) and later sweeps compare an integer
+// instead of recomputing the exponential; the actual expiry decision is
+// always made by the real At check once the deadline has passed, so the
+// kept/dropped outcome per tick is identical to checking At every time.
 func (d *Detector) SweepStale(t time.Time, minScore float64) {
-	for k, st := range d.states {
-		if st.seen.Equal(t) {
+	tn := t.UnixNano()
+	for i := range d.states {
+		st := &d.states[i]
+		if st.key == (pairs.Key{}) || st.seenNano == tn {
 			continue
 		}
+		if st.keepUntilNano != 0 && tn < st.keepUntilNano {
+			continue // provably still at or above minScore
+		}
 		if st.decay.At(t) < minScore {
-			delete(d.states, k)
+			d.release(int32(i))
+		} else {
+			st.keepUntilNano = st.decay.KeepUntilNano(minScore)
 		}
 	}
 }

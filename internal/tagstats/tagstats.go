@@ -9,7 +9,7 @@ package tagstats
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -80,21 +80,50 @@ type TagStat struct {
 // Tracker maintains windowed document counts per tag. It is not safe for
 // concurrent use; wrap it in a stream.AsyncStage or external lock if
 // multiple goroutines feed it.
+//
+// Per-tag counters live in a shared window.CounterArena rather than one
+// heap-allocated counter per tag: the seed-selection scan visits every
+// active tag every evaluation tick, and walking slot-ordered slabs (heads,
+// totals) is sequential reads where a map of counter pointers is a cache
+// miss per tag. slots maps tag → arena slot and revTags is the reverse
+// index (empty string = free slot) the scans iterate instead of the map.
 type Tracker struct {
 	cfg     Config
-	tags    map[string]*window.Counter
+	slots   map[string]int32
+	revTags []string
+	// revIDs caches, per slot, the caller-domain tag ID resolved through
+	// resolve (NoID until resolved). A resolved ID is cached for the slot's
+	// lifetime — resolvers must be stable, i.e. never re-map a tag — so the
+	// per-tick selection scan hands IDs to its callback without re-hashing
+	// every tag string; unresolved tags are retried each scan, since a tag
+	// may enter the resolver's domain after its slot was allocated.
+	revIDs  []uint32
+	resolve func(tag string) (uint32, bool)
+	arena   *window.CounterArena
 	docs    *window.Counter
 	sinceGC int
 	now     time.Time
+}
+
+// NoID is the TopAppend callback's "no resolved ID" sentinel: either no
+// resolver is installed or the tag is outside the resolver's domain.
+const NoID = ^uint32(0)
+
+// SetTagIDResolver installs the tag → ID mapping cached per slot and handed
+// to TopAppend callbacks. The mapping must be stable: once a tag resolves to
+// an ID, later calls must return the same ID (growing the domain is fine).
+func (tr *Tracker) SetTagIDResolver(fn func(tag string) (uint32, bool)) {
+	tr.resolve = fn
 }
 
 // NewTracker returns a tracker with the given configuration.
 func NewTracker(cfg Config) *Tracker {
 	c := cfg.withDefaults()
 	return &Tracker{
-		cfg:  c,
-		tags: make(map[string]*window.Counter),
-		docs: window.NewCounter(c.Buckets, c.Resolution),
+		cfg:   c,
+		slots: make(map[string]int32),
+		arena: window.NewCounterArena(c.Buckets, c.Resolution),
+		docs:  window.NewCounter(c.Buckets, c.Resolution),
 	}
 }
 
@@ -117,6 +146,8 @@ func (tr *Tracker) Observe(t time.Time, tags []string) {
 		tr.now = t
 	}
 	tr.docs.Inc(t)
+	// One timestamp-to-bucket conversion per document, shared by every tag.
+	abs := tr.arena.BucketIndex(t)
 	if len(tags) <= smallTagSet {
 	small:
 		for i, tag := range tags {
@@ -128,7 +159,7 @@ func (tr *Tracker) Observe(t time.Time, tags []string) {
 					continue small
 				}
 			}
-			tr.inc(tag, t)
+			tr.inc(tag, abs)
 		}
 	} else {
 		seen := make(map[string]bool, len(tags))
@@ -137,7 +168,7 @@ func (tr *Tracker) Observe(t time.Time, tags []string) {
 				continue
 			}
 			seen[tag] = true
-			tr.inc(tag, t)
+			tr.inc(tag, abs)
 		}
 	}
 	tr.sinceGC++
@@ -146,36 +177,46 @@ func (tr *Tracker) Observe(t time.Time, tags []string) {
 	}
 }
 
-// inc upserts tag's counter and records one document at time t.
-func (tr *Tracker) inc(tag string, t time.Time) {
-	c, ok := tr.tags[tag]
+// inc upserts tag's counter slot and records one document at bucket abs.
+func (tr *Tracker) inc(tag string, abs int64) {
+	slot, ok := tr.slots[tag]
 	if !ok {
-		c = window.NewCounter(tr.cfg.Buckets, tr.cfg.Resolution)
-		tr.tags[tag] = c
+		slot = tr.arena.Alloc()
+		tr.slots[tag] = slot
+		for int(slot) >= len(tr.revTags) {
+			tr.revTags = append(tr.revTags, "")
+			tr.revIDs = append(tr.revIDs, NoID)
+		}
+		tr.revTags[slot] = tag
+		tr.revIDs[slot] = NoID
 	}
-	c.Inc(t)
+	tr.arena.IncAbs(slot, abs)
 }
 
 // sweep evicts tags whose windows have emptied, bounding memory to the tags
 // active inside the window.
 func (tr *Tracker) sweep() {
 	tr.sinceGC = 0
-	for tag, c := range tr.tags {
-		c.Observe(tr.now)
-		if c.Value() == 0 {
-			delete(tr.tags, tag)
+	abs := tr.arena.BucketIndex(tr.now)
+	for slot, tag := range tr.revTags {
+		if tag == "" {
+			continue
+		}
+		if tr.arena.PeekAbs(int32(slot), abs) == 0 {
+			delete(tr.slots, tag)
+			tr.revTags[slot] = ""
+			tr.arena.Release(int32(slot))
 		}
 	}
 }
 
 // Count returns the number of windowed documents carrying tag.
 func (tr *Tracker) Count(tag string) float64 {
-	c, ok := tr.tags[tag]
+	slot, ok := tr.slots[tag]
 	if !ok {
 		return 0
 	}
-	c.Observe(tr.now)
-	return c.Value()
+	return tr.arena.PeekAbs(slot, tr.arena.BucketIndex(tr.now))
 }
 
 // DocCount returns the number of documents inside the window.
@@ -190,10 +231,13 @@ func (tr *Tracker) DocCount() float64 {
 // evaluation tick so its parallel shard workers read tag counts without
 // touching (and mutating) the tracker concurrently.
 func (tr *Tracker) Counts() map[string]float64 {
-	out := make(map[string]float64, len(tr.tags))
-	for tag, c := range tr.tags {
-		c.Observe(tr.now)
-		if v := c.Value(); v > 0 {
+	out := make(map[string]float64, len(tr.slots))
+	abs := tr.arena.BucketIndex(tr.now)
+	for slot, tag := range tr.revTags {
+		if tag == "" {
+			continue
+		}
+		if v := tr.arena.PeekAbs(int32(slot), abs); v > 0 {
 			out[tag] = v
 		}
 	}
@@ -206,9 +250,12 @@ func (tr *Tracker) Counts() map[string]float64 {
 // per-tick count index through it instead of materialising a fresh map
 // every tick.
 func (tr *Tracker) ForEachCount(fn func(tag string, n float64)) {
-	for tag, c := range tr.tags {
-		c.Observe(tr.now)
-		if v := c.Value(); v > 0 {
+	abs := tr.arena.BucketIndex(tr.now)
+	for slot, tag := range tr.revTags {
+		if tag == "" {
+			continue
+		}
+		if v := tr.arena.PeekAbs(int32(slot), abs); v > 0 {
 			fn(tag, v)
 		}
 	}
@@ -227,12 +274,12 @@ func (tr *Tracker) Popularity(tag string) float64 {
 // Volatility returns the coefficient of variation (stddev / mean) of the
 // tag's per-bucket count series; 0 for unseen or constant tags.
 func (tr *Tracker) Volatility(tag string) float64 {
-	c, ok := tr.tags[tag]
+	slot, ok := tr.slots[tag]
 	if !ok {
 		return 0
 	}
-	c.Observe(tr.now)
-	return coefficientOfVariation(c.Series())
+	tr.arena.Observe(slot, tr.now)
+	return coefficientOfVariation(tr.arena.Series(slot))
 }
 
 func coefficientOfVariation(series []float64) float64 {
@@ -256,7 +303,7 @@ func coefficientOfVariation(series []float64) float64 {
 }
 
 // ActiveTags returns the number of tags currently tracked.
-func (tr *Tracker) ActiveTags() int { return len(tr.tags) }
+func (tr *Tracker) ActiveTags() int { return len(tr.slots) }
 
 // Stats returns the snapshot for a single tag.
 func (tr *Tracker) Stats(tag string) TagStat {
@@ -272,47 +319,181 @@ func (tr *Tracker) Stats(tag string) TagStat {
 // alphabetically for determinism. Tags with fewer than minCount windowed
 // documents are excluded.
 func (tr *Tracker) Top(k int, crit Criterion, minCount float64) []TagStat {
+	return tr.TopAppend(k, crit, minCount, nil, nil)
+}
+
+// statScore evaluates the selection criterion on one stat. Pointer receiver
+// argument: the comparators run O(tags·log k) times per tick and a TagStat
+// is ~6 words, so by-value passing would copy structs on every comparison.
+func statScore(crit Criterion, s *TagStat) float64 {
+	switch crit {
+	case ByVolatility:
+		return s.Volatility
+	case ByHybrid:
+		return s.Popularity * (1 + s.Volatility)
+	default:
+		return s.Popularity
+	}
+}
+
+// statWorse reports whether a ranks strictly below b in seed order: lower
+// score, ties by tag descending — the mirror of Top's sort comparator, so a
+// bounded min-heap under statWorse keeps exactly the prefix a full
+// sort-and-trim would keep (the order is strict: tags are unique).
+func statWorse(crit Criterion, a, b *TagStat) bool {
+	sa, sb := statScore(crit, a), statScore(crit, b)
+	if sa != sb {
+		return sa < sb
+	}
+	return b.Tag < a.Tag
+}
+
+// idFor returns slot's cached resolved ID, consulting the resolver (and
+// caching a success) when the slot is still unresolved.
+func (tr *Tracker) idFor(slot int32, tag string) uint32 {
+	id := tr.revIDs[slot]
+	if id == NoID && tr.resolve != nil {
+		if r, ok := tr.resolve(tag); ok {
+			id = r
+			tr.revIDs[slot] = id
+		}
+	}
+	return id
+}
+
+// TopAppend is Top fused with a count scan, allocation-free in steady
+// state: it appends the selection to buf (pass buf[:0] to reuse the backing
+// array across ticks) and, when each is non-nil, streams every tracked
+// tag's positive windowed count through it along the way, with the tag's
+// resolved ID (NoID when unresolved; see SetTagIDResolver). The engine's
+// evaluation tick uses this to rebuild its tag-count index and reselect
+// seeds in a single pass over the tag map instead of two, with a bounded
+// min-heap (O(tags·log k)) replacing the full sort (O(tags·log tags)) and
+// the per-tag ID cache replacing an interning-table probe per tag. The
+// selected stats — values and order — are identical to Top's.
+func (tr *Tracker) TopAppend(k int, crit Criterion, minCount float64, buf []TagStat, each func(tag string, id uint32, n float64)) []TagStat {
 	if k <= 0 {
-		return nil
+		if each != nil {
+			abs := tr.arena.BucketIndex(tr.now)
+			for slot, tag := range tr.revTags {
+				if tag == "" {
+					continue
+				}
+				if n := tr.arena.PeekAbs(int32(slot), abs); n > 0 {
+					each(tag, tr.idFor(int32(slot), tag), n)
+				}
+			}
+		}
+		return buf
 	}
 	total := tr.DocCount()
-	stats := make([]TagStat, 0, len(tr.tags))
-	for tag, c := range tr.tags {
-		c.Observe(tr.now)
-		n := c.Value()
-		if n < minCount || n == 0 {
+	h := buf // bounded min-heap region: buf[len(buf):len(buf)+≤k]
+	base := len(buf)
+	byPop := crit == ByPopularity
+	// One timestamp-to-bucket conversion for the whole scan; the walk
+	// itself is slot order over the arena slabs — sequential reads, no
+	// per-tag pointer chase.
+	abs := tr.arena.BucketIndex(tr.now)
+	for slot, tag := range tr.revTags {
+		if tag == "" {
 			continue
+		}
+		n := tr.arena.PeekAbs(int32(slot), abs)
+		if n == 0 {
+			continue
+		}
+		if each != nil {
+			each(tag, tr.idFor(int32(slot), tag), n)
+		}
+		if n < minCount {
+			continue
+		}
+		// Fast reject for the default criterion: with the heap full, most
+		// tags rank below the root, and that one comparison needs neither
+		// the TagStat nor the statPush call. The condition is exactly
+		// !statWorse(root, s) specialised to ByPopularity.
+		if byPop && len(h)-base == k {
+			pop := 0.0
+			if total > 0 {
+				pop = n / total
+			}
+			root := &h[base]
+			if pop < root.Popularity || (pop == root.Popularity && tag >= root.Tag) {
+				continue
+			}
 		}
 		s := TagStat{Tag: tag, Count: n}
 		if total > 0 {
 			s.Popularity = n / total
 		}
 		if crit == ByVolatility || crit == ByHybrid {
-			s.Volatility = coefficientOfVariation(c.Series())
+			s.Volatility = coefficientOfVariation(tr.arena.Series(int32(slot)))
 		}
-		stats = append(stats, s)
+		h = statPush(h, base, k, crit, &s)
 	}
-	score := func(s TagStat) float64 {
-		switch crit {
-		case ByVolatility:
-			return s.Volatility
-		case ByHybrid:
-			return s.Popularity * (1 + s.Volatility)
-		default:
-			return s.Popularity
+	sel := h[base:]
+	slices.SortFunc(sel, func(a, b TagStat) int { return statCmp(crit, &a, &b) })
+	return h
+}
+
+// statCmp orders stats by descending score, ties by tag ascending — the
+// comparator form of statWorse (a before b exactly when b is worse than a),
+// for the generic sort: no interface boxing, no per-compare closure through
+// sort.Interface.
+func statCmp(crit Criterion, a, b *TagStat) int {
+	sa, sb := statScore(crit, a), statScore(crit, b)
+	if sa != sb {
+		if sa > sb {
+			return -1
 		}
+		return 1
 	}
-	sort.Slice(stats, func(i, j int) bool {
-		si, sj := score(stats[i]), score(stats[j])
-		if si != sj {
-			return si > sj
+	if a.Tag < b.Tag {
+		return -1
+	}
+	if a.Tag > b.Tag {
+		return 1
+	}
+	return 0
+}
+
+// statPush folds s into the bounded min-heap occupying h[base:], capacity
+// k, whose root is the worst kept stat under statWorse.
+func statPush(h []TagStat, base, k int, crit Criterion, s *TagStat) []TagStat {
+	heap := h[base:]
+	if len(heap) < k {
+		h = append(h, *s)
+		heap = h[base:]
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !statWorse(crit, &heap[i], &heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
 		}
-		return stats[i].Tag < stats[j].Tag
-	})
-	if len(stats) > k {
-		stats = stats[:k]
+		return h
 	}
-	return stats
+	if !statWorse(crit, &heap[0], s) {
+		return h // s is no better than the worst kept stat
+	}
+	heap[0] = *s
+	for i := 0; ; {
+		l, r := 2*i+1, 2*i+2
+		m := i
+		if l < len(heap) && statWorse(crit, &heap[l], &heap[m]) {
+			m = l
+		}
+		if r < len(heap) && statWorse(crit, &heap[r], &heap[m]) {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		heap[i], heap[m] = heap[m], heap[i]
+		i = m
+	}
+	return h
 }
 
 // SeedSelector periodically materialises the current seed tag set from a
@@ -351,7 +532,15 @@ func NewSeedSelector(k int, crit Criterion, minCount float64) *SeedSelector {
 // Reselect recomputes the seed set from tr and returns it (ordered by
 // descending score). The returned slice is never mutated afterwards.
 func (s *SeedSelector) Reselect(tr *Tracker) []string {
-	top := tr.Top(s.K, s.Criterion, s.MinCount)
+	return s.ReselectFrom(tr.Top(s.K, s.Criterion, s.MinCount))
+}
+
+// ReselectFrom installs the seed set from an externally computed top-k stat
+// slice — the fused-pass form of Reselect: the engine obtains top via
+// Tracker.TopAppend (selecting with this selector's K, Criterion, and
+// MinCount) while it streams tag counts for its own index, then installs
+// the result here. top is only read.
+func (s *SeedSelector) ReselectFrom(top []TagStat) []string {
 	current := make(map[string]bool, len(top))
 	ordered := make([]string, 0, len(top))
 	for _, st := range top {

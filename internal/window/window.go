@@ -85,12 +85,17 @@ func (w *TimeBuckets) advance(abs int64) {
 		w.head = abs
 		return
 	}
+	// One modulo for the first expired bucket, then wrap by comparison:
+	// a per-bucket integer division would dominate this loop.
+	slot := int(mod(w.head+1, int64(len(w.buckets))))
 	for b := w.head + 1; b <= abs; b++ {
-		slot := int(mod(b, int64(len(w.buckets))))
 		w.total -= w.buckets[slot]
 		w.n -= w.counts[slot]
 		w.buckets[slot] = 0
 		w.counts[slot] = 0
+		if slot++; slot == len(w.buckets) {
+			slot = 0
+		}
 	}
 	w.head = abs
 	// Guard against floating-point drift pushing the running total negative.
@@ -119,6 +124,14 @@ func (w *TimeBuckets) Add(t time.Time, v float64) {
 func (w *TimeBuckets) Observe(t time.Time) {
 	w.advance(w.bucketIndex(t))
 }
+
+// AbsIndex returns the absolute bucket number containing t. Callers
+// advancing many same-resolution windows to one timestamp convert once and
+// share the result through ObserveAbs.
+func (w *TimeBuckets) AbsIndex(t time.Time) int64 { return w.bucketIndex(t) }
+
+// ObserveAbs is Observe taking a pre-computed absolute bucket number.
+func (w *TimeBuckets) ObserveAbs(abs int64) { w.advance(abs) }
 
 // Sum returns the sum of all values currently inside the window.
 func (w *TimeBuckets) Sum() float64 { return w.total }
@@ -184,6 +197,13 @@ func (c *Counter) Inc(t time.Time) { c.tb.Add(t, 1) }
 // Observe advances the window to t, expiring old events.
 func (c *Counter) Observe(t time.Time) { c.tb.Observe(t) }
 
+// AbsIndex returns the absolute bucket number containing t; see
+// TimeBuckets.AbsIndex.
+func (c *Counter) AbsIndex(t time.Time) int64 { return c.tb.AbsIndex(t) }
+
+// ObserveAbs is Observe taking a pre-computed absolute bucket number.
+func (c *Counter) ObserveAbs(abs int64) { c.tb.ObserveAbs(abs) }
+
 // Value returns the number of events inside the window.
 func (c *Counter) Value() float64 { return c.tb.Sum() }
 
@@ -230,10 +250,16 @@ func (a *Average) Count() int64 { return a.tb.Count() }
 // of approximately 2 days").
 //
 // The zero value is unusable; construct with NewDecay.
+//
+// Time is carried internally as unix nanoseconds: the detector's evaluation
+// tick updates one Decay per tracked pair, and an int64 stamp makes that
+// update a plain integer store where a time.Time field would cost a
+// monotonic-clock branch on every subtraction and a GC write barrier (for
+// the location pointer) on every store.
 type Decay struct {
 	halfLife time.Duration
 	value    float64
-	at       time.Time
+	atNano   int64
 	set      bool
 }
 
@@ -257,6 +283,11 @@ func MakeDecay(halfLife time.Duration) Decay {
 // HalfLife returns the configured half-life.
 func (d *Decay) HalfLife() time.Duration { return d.halfLife }
 
+// Value returns the stored (undecayed) value: the value as of the last
+// update, which upper-bounds At for any later time. Evaluation loops use it
+// as a one-load admission test before paying for the exponential.
+func (d *Decay) Value() float64 { return d.value }
+
 // factor returns the decay multiplier for elapsed duration dt. The
 // exponent divides the raw nanosecond counts directly — one division
 // instead of two Seconds() conversions; the ratio is the same quantity.
@@ -273,10 +304,16 @@ func (d *Decay) factor(dt time.Duration) float64 {
 // calls At once per tracked pair, and pairs that never erred skip the
 // exponential entirely.
 func (d *Decay) At(t time.Time) float64 {
+	return d.AtNano(t.UnixNano())
+}
+
+// AtNano is At taking the time as unix nanoseconds — the evaluation tick
+// converts the tick time once and shares the integer across every pair.
+func (d *Decay) AtNano(nano int64) float64 {
 	if !d.set || d.value == 0 {
 		return 0
 	}
-	return d.value * d.factor(t.Sub(d.at))
+	return d.value * d.factor(time.Duration(nano-d.atNano))
 }
 
 // Update decays the stored value to time t and then applies max with v: the
@@ -285,13 +322,18 @@ func (d *Decay) At(t time.Time) float64 {
 // exponentially dampened past errors — computed incrementally in O(1).
 // It returns the new value.
 func (d *Decay) Update(t time.Time, v float64) float64 {
-	cur := d.At(t)
+	return d.UpdateNano(t.UnixNano(), v)
+}
+
+// UpdateNano is Update taking the time as unix nanoseconds; see AtNano.
+func (d *Decay) UpdateNano(nano int64, v float64) float64 {
+	cur := d.AtNano(nano)
 	if v > cur {
 		cur = v
 	}
 	d.value = cur
-	if !d.set || t.After(d.at) {
-		d.at = t
+	if !d.set || nano > d.atNano {
+		d.atNano = nano
 	}
 	d.set = true
 	return cur
@@ -300,7 +342,7 @@ func (d *Decay) Update(t time.Time, v float64) float64 {
 // Set overwrites the value at time t, discarding history.
 func (d *Decay) Set(t time.Time, v float64) {
 	d.value = v
-	d.at = t
+	d.atNano = t.UnixNano()
 	d.set = true
 }
 
