@@ -206,22 +206,3 @@ func TestScenarioFacades(t *testing.T) {
 		}
 	}
 }
-
-// The deprecated WithOnRanking shim must still deliver every tick, after
-// Flush, in order.
-func TestWithOnRankingShim(t *testing.T) {
-	var ats []time.Time
-	engine := enblogue.New(append(apiOptions(2),
-		enblogue.WithOnRanking(func(r enblogue.Ranking) { ats = append(ats, r.At) }))...)
-	if err := engine.Run(context.Background(), apiStream()); err != nil {
-		t.Fatal(err)
-	}
-	if len(ats) == 0 {
-		t.Fatal("OnRanking never fired")
-	}
-	for i := 1; i < len(ats); i++ {
-		if !ats[i].After(ats[i-1]) {
-			t.Fatalf("out-of-order callbacks: %v then %v", ats[i-1], ats[i])
-		}
-	}
-}

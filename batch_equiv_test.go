@@ -1,6 +1,7 @@
 package enblogue_test
 
 import (
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -45,29 +46,47 @@ func equivWorkloads(t testing.TB) map[string][]*stream.Item {
 	}
 }
 
-// rankingRecorder collects every published tick via the OnRanking
-// callback. Engine.Flush establishes the happens-before edge that makes
-// the slice safe to read afterwards.
+// rankingRecorder collects every published tick from a subscription,
+// drained on a dedicated goroutine so even the slowest matrix cell never
+// sheds a frame. wait — called after Engine.Close has closed the
+// subscription channel — joins the drainer, establishing the
+// happens-before edge that makes got safe to read.
 type rankingRecorder struct {
-	got []enblogue.Ranking
+	got  []enblogue.Ranking
+	done chan struct{}
 }
 
-func (r *rankingRecorder) opt() enblogue.Option {
-	return enblogue.WithOnRanking(func(rk enblogue.Ranking) { r.got = append(r.got, rk) })
+// record subscribes to e and starts draining. The caller must Close the
+// engine and then call wait before reading the recording.
+func record(e *enblogue.Engine) *rankingRecorder {
+	rec := &rankingRecorder{done: make(chan struct{})}
+	sub := e.Subscribe(context.Background(), enblogue.SubBuffer(1<<16))
+	go func() {
+		defer close(rec.done)
+		for r := range sub.Rankings() {
+			rec.got = append(rec.got, r)
+		}
+	}()
+	return rec
+}
+
+func (r *rankingRecorder) wait() []enblogue.Ranking {
+	<-r.done
+	return r.got
 }
 
 // consumeSerial replays items one Consume at a time and returns every
 // published ranking — the reference the batched paths must reproduce
 // bit-for-bit.
 func consumeSerial(items []*stream.Item, shards int) []enblogue.Ranking {
-	var rec rankingRecorder
-	e := enblogue.New(enblogue.WithShards(shards), rec.opt())
+	e := enblogue.New(enblogue.WithShards(shards))
+	rec := record(e)
 	for _, it := range items {
 		e.Consume(it)
 	}
 	e.Flush()
 	e.Close()
-	return rec.got
+	return rec.wait()
 }
 
 // diffRankings fails the test with the first divergence between two
@@ -99,8 +118,8 @@ func TestConsumeBatchMatchesSerial(t *testing.T) {
 				}
 				for _, batch := range []int{1, 64, 4096} {
 					t.Run(fmt.Sprintf("shards-%d/batch-%d", shards, batch), func(t *testing.T) {
-						var rec rankingRecorder
-						e := enblogue.New(enblogue.WithShards(shards), rec.opt())
+						e := enblogue.New(enblogue.WithShards(shards))
+						rec := record(e)
 						for lo := 0; lo < len(items); lo += batch {
 							hi := lo + batch
 							if hi > len(items) {
@@ -110,7 +129,7 @@ func TestConsumeBatchMatchesSerial(t *testing.T) {
 						}
 						e.Flush()
 						e.Close()
-						diffRankings(t, want, rec.got)
+						diffRankings(t, want, rec.wait())
 					})
 				}
 			}
@@ -127,20 +146,19 @@ func TestConsumeBatchMatchesSerial(t *testing.T) {
 func TestEnqueueMatchesSerial(t *testing.T) {
 	items := equivWorkloads(t)["tweets"]
 	want := consumeSerial(items, 4)
-	var rec rankingRecorder
 	e := enblogue.New(
 		enblogue.WithShards(4),
 		enblogue.WithIngestQueue(256),
 		enblogue.WithIngestMaxBatch(64),
 		enblogue.WithIngestFlushInterval(time.Millisecond),
-		rec.opt(),
 	)
+	rec := record(e)
 	for _, it := range items {
 		e.Enqueue(it)
 	}
 	e.Flush() // waits for the ring to drain, then fires the final tick
 	e.Close()
-	diffRankings(t, want, rec.got)
+	diffRankings(t, want, rec.wait())
 	if d := e.IngestDropped(); d != 0 {
 		t.Errorf("blocking ingest queue dropped %d items, want 0", d)
 	}
@@ -155,11 +173,11 @@ func TestEnqueueMatchesSerial(t *testing.T) {
 func TestRunMatchesSerial(t *testing.T) {
 	items := equivWorkloads(t)["tweets"]
 	want := consumeSerial(items, 2)
-	var rec rankingRecorder
-	e := enblogue.New(enblogue.WithShards(2), rec.opt())
+	e := enblogue.New(enblogue.WithShards(2))
+	rec := record(e)
 	if err := e.Run(t.Context(), enblogue.Items(items)); err != nil {
 		t.Fatalf("Run: %v", err)
 	}
 	e.Close()
-	diffRankings(t, want, rec.got)
+	diffRankings(t, want, rec.wait())
 }

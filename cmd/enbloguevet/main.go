@@ -1,0 +1,142 @@
+// Command enbloguevet machine-checks the engine's invariants: the
+// determinism perimeter (detdiscipline), the lock annotation contract
+// (lockdiscipline), the zero-allocation ingest path (hotpathalloc), and
+// the frozen /v1 wire surface (wirestable). See DESIGN.md §9.
+//
+// It speaks the `go vet -vettool` protocol, so the usual drive is
+//
+//	go build -o bin/enbloguevet ./cmd/enbloguevet
+//	go vet -vettool=bin/enbloguevet ./...
+//
+// and also runs standalone, loading the module from source with no go
+// command in the loop:
+//
+//	enbloguevet            # check every package in the enclosing module
+//	enbloguevet -write-wiremanifest   # regenerate the /v1 wire manifest
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"enblogue/internal/analysis"
+	"enblogue/internal/analysis/driver"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintf(os.Stderr, "enbloguevet: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	// The three `go vet` tool-protocol entry points come before anything
+	// else: version stamp, flag inventory, then one compilation unit per
+	// *.cfg invocation.
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full":
+			return driver.PrintVersion()
+		case args[0] == "-flags":
+			return driver.PrintFlagsJSON([]struct {
+				Name  string
+				Bool  bool
+				Usage string
+			}{})
+		case strings.HasSuffix(args[0], ".cfg"):
+			return runUnit(args[0])
+		case args[0] == "-write-wiremanifest":
+			return writeWireManifest()
+		case args[0] == "-h" || args[0] == "-help" || args[0] == "--help":
+			usage()
+			return nil
+		}
+	}
+	if len(args) == 0 {
+		return runStandalone()
+	}
+	// Tolerate `enbloguevet ./...` spellings: standalone mode always
+	// checks the whole module, which is what every caller here wants.
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			usage()
+			return fmt.Errorf("unknown flag %s", a)
+		}
+	}
+	return runStandalone()
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage:
+  enbloguevet                     check every package in the enclosing module
+  enbloguevet -write-wiremanifest regenerate internal/analysis/wiremanifest.json
+  go vet -vettool=enbloguevet ./...   drive as a vet tool (recommended in CI)
+`)
+}
+
+func runUnit(cfgPath string) error {
+	suite, err := analysis.Suite()
+	if err != nil {
+		return err
+	}
+	fset, diags, err := driver.RunUnit(cfgPath, suite)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+func runStandalone() error {
+	suite, err := analysis.Suite()
+	if err != nil {
+		return err
+	}
+	modPath, modDir, err := driver.ModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	fset, diags, err := driver.CheckModule(suite, modPath, modDir)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s\n", fset.Position(d.Pos), d.Message)
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+	return nil
+}
+
+// writeWireManifest re-derives the /v1 wire manifest from source and
+// rewrites the committed JSON. The resulting diff is the review artifact
+// for any wire-surface change.
+func writeWireManifest() error {
+	modPath, modDir, err := driver.ModuleRoot(".")
+	if err != nil {
+		return err
+	}
+	m, err := analysis.GenerateWireManifest(modPath, modDir)
+	if err != nil {
+		return err
+	}
+	data, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	out := filepath.Join(modDir, filepath.FromSlash(analysis.WireManifestPath))
+	if err := os.WriteFile(out, data, 0o666); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "enbloguevet: wrote %s (%d wire structs)\n", out, len(m))
+	return nil
+}

@@ -1,0 +1,120 @@
+// Package checktest is the suite's analysistest equivalent: it loads a
+// package from an analyzer's testdata/src tree, runs the analyzer, and
+// diffs the reported diagnostics against `// want` expectations embedded
+// in the test sources.
+//
+// Expectation grammar, one per offending line (same line or trailing):
+//
+//	x := foo() // want `regexp` `another regexp`
+//
+// Every diagnostic must match a want on its line, every want must be hit
+// exactly once, and unmatched members of either set fail the test with
+// exact positions — so the testdata packages double as a precise
+// specification of each analyzer's diagnostics.
+package checktest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"enblogue/internal/analysis/driver"
+)
+
+var wantRE = regexp.MustCompile("`([^`]+)`")
+
+func readFile(name string) (string, error) {
+	data, err := os.ReadFile(name)
+	return string(data), err
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// Run loads testdata/src/<pkgname> (relative to the calling test's
+// directory), analyzes it, and asserts the diagnostics match the // want
+// expectations. Packages are loaded in the order given, sharing one fact
+// set, so a later package can exercise facts exported by an earlier one.
+func Run(t *testing.T, testdata string, a *driver.Analyzer, pkgnames ...string) {
+	t.Helper()
+	mod, modDir, err := driver.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := driver.NewLoader(mod, modDir)
+	facts := driver.NewFactSet()
+	for _, name := range pkgnames {
+		dir := filepath.Join(testdata, "src", name)
+		lp, err := l.LoadDir(dir, name)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		diags := driver.RunForTest(t, a, l.Fset, lp, facts)
+		checkWants(t, l.Fset, name, dir, diags)
+	}
+}
+
+func checkWants(t *testing.T, fset *token.FileSet, pkg, dir string, diags []driver.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, dir)
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", pkg, pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: no diagnostic matched `%s`", pkg, w.file, w.line, w.raw)
+		}
+	}
+}
+
+func claim(wants []*want, file string, line int, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.line == line && w.file == file && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants re-parses the package's comments for `// want` markers.
+func collectWants(t *testing.T, fset *token.FileSet, dir string) []*want {
+	t.Helper()
+	var wants []*want
+	fset.Iterate(func(f *token.File) bool {
+		if filepath.Dir(f.Name()) != dir {
+			return true
+		}
+		src, err := readFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+			return false
+		}
+		for i, line := range strings.Split(src, "\n") {
+			_, marker, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			for _, m := range wantRE.FindAllStringSubmatch(marker, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", f.Name(), i+1, m[1], err)
+				}
+				wants = append(wants, &want{file: f.Name(), line: i + 1, re: re, raw: m[1]})
+			}
+		}
+		return true
+	})
+	return wants
+}

@@ -1,0 +1,12 @@
+package detdiscipline_test
+
+import (
+	"testing"
+
+	"enblogue/internal/analysis/checktest"
+	"enblogue/internal/analysis/detdiscipline"
+)
+
+func TestDetDiscipline(t *testing.T) {
+	checktest.Run(t, "testdata", detdiscipline.Analyzer, "detgood", "detbad")
+}

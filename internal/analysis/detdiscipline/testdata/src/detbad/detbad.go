@@ -1,0 +1,32 @@
+// Package detbad is detdiscipline's violating fixture: each marked line
+// must produce exactly the diagnostic its want regexp describes.
+package detbad
+
+import (
+	"math/rand" // want `import of "math/rand" in deterministic engine package`
+	"time"
+)
+
+// Clock reads the host clock, which the event-time contract forbids.
+func Clock() int64 {
+	return time.Now().UnixNano() // want `call to time.Now in deterministic engine package`
+}
+
+// Elapsed is a wall-clock read too, via time.Since.
+func Elapsed(t time.Time) time.Duration {
+	return time.Since(t) // want `call to time.Since in deterministic engine package`
+}
+
+// Roll keeps the math/rand import referenced.
+func Roll() int {
+	return rand.Intn(6)
+}
+
+// Sum iterates a map with no order-independence proof.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `unannotated map iteration in deterministic engine package`
+		total += v
+	}
+	return total
+}

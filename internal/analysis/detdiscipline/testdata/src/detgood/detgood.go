@@ -1,0 +1,34 @@
+// Package detgood is detdiscipline's clean fixture: every construct here
+// is the approved deterministic idiom and must produce no diagnostics.
+package detgood
+
+import (
+	"sort"
+	"time"
+)
+
+// Sorted iterates a map the approved way: collect, sort, use.
+func Sorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	//enblogue:unordered collect-then-sort: keys are sorted before use
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// EventTime uses stream-carried timestamps; constructing and comparing
+// time.Time values is fine, only reading the host clock is not.
+func EventTime(t time.Time, cutoff time.Time) bool {
+	return t.After(cutoff)
+}
+
+// SliceRange is not a map iteration and needs no annotation.
+func SliceRange(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,217 @@
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// UnitConfig mirrors the JSON compilation-unit description `go vet`
+// writes for a -vettool backend (the unitchecker protocol): one package,
+// its sources, and where to find dependency type/fact information.
+type UnitConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes one `go vet -vettool` compilation unit: parse the
+// unit's sources, type-check against the export data the go command
+// provides, import upstream facts from vetx files, run the analyzers, and
+// write this unit's facts back out. It returns the diagnostics (nil in
+// VetxOnly mode) for the caller to print, and never prints itself.
+func RunUnit(cfgPath string, analyzers []*Analyzer) (*token.FileSet, []Diagnostic, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg := new(UnitConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, nil, fmt.Errorf("cannot decode vet config %s: %w", cfgPath, err)
+	}
+	if len(cfg.GoFiles) == 0 {
+		return nil, nil, fmt.Errorf("package has no files: %s", cfg.ImportPath)
+	}
+
+	fset := token.NewFileSet()
+
+	// Nothing to check and nothing to say: still honour the protocol by
+	// writing an (empty) vetx file, but skip parsing and type-checking —
+	// go vet drives every dependency unit through the tool for fact
+	// propagation, and the stdlib does not need our facts.
+	if !unitMatches(cfg.ImportPath, analyzers) {
+		facts := NewFactSet()
+		if err := writeVetx(cfg, facts); err != nil {
+			return nil, nil, err
+		}
+		return fset, nil, nil
+	}
+
+	files, err := parseUnitFiles(fset, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return fset, nil, nil
+		}
+		return nil, nil, err
+	}
+	tc := &types.Config{
+		Importer:  unitImporter(cfg, fset),
+		GoVersion: cfg.GoVersion,
+	}
+	info := newTypesInfo()
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return fset, nil, nil
+		}
+		return nil, nil, err
+	}
+
+	facts := NewFactSet()
+	// Deterministic merge order (paths sorted) so conflicting writes —
+	// which the fact grammars rule out anyway — resolve identically from
+	// run to run.
+	vetxPaths := make([]string, 0, len(cfg.PackageVetx))
+	for p := range cfg.PackageVetx {
+		vetxPaths = append(vetxPaths, p)
+	}
+	sort.Strings(vetxPaths)
+	for _, p := range vetxPaths {
+		data, err := os.ReadFile(cfg.PackageVetx[p])
+		if err != nil {
+			return nil, nil, fmt.Errorf("reading facts of %s: %w", p, err)
+		}
+		if err := facts.Merge(data); err != nil {
+			return nil, nil, fmt.Errorf("decoding facts of %s: %w", p, err)
+		}
+	}
+
+	diags, err := runAnalyzers(analyzers, fset, files, pkg, info, facts)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := writeVetx(cfg, facts); err != nil {
+		return nil, nil, err
+	}
+	if cfg.VetxOnly {
+		return fset, nil, nil
+	}
+	return fset, diags, nil
+}
+
+func parseUnitFiles(fset *token.FileSet, cfg *UnitConfig) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+func unitMatches(importPath string, analyzers []*Analyzer) bool {
+	plain, _, _ := strings.Cut(importPath, " ")
+	for _, a := range analyzers {
+		if a.Match == nil || a.Match(plain) {
+			return true
+		}
+	}
+	return false
+}
+
+// unitImporter resolves imports through the export-data files the go
+// command wrote for the unit's dependencies, exactly as the reference
+// unitchecker does: ImportMap resolves vendoring, PackageFile locates the
+// compiler's export data, and the stdlib gc importer parses it.
+func unitImporter(cfg *UnitConfig, fset *token.FileSet) types.Importer {
+	compilerImporter := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no package file for %q", path)
+		}
+		return os.Open(file)
+	})
+	return importerFunc(func(importPath string) (*types.Package, error) {
+		path, ok := cfg.ImportMap[importPath]
+		if !ok {
+			return nil, fmt.Errorf("can't resolve import %q", importPath)
+		}
+		return compilerImporter.Import(path)
+	})
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+func writeVetx(cfg *UnitConfig, facts *FactSet) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	data, err := facts.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(cfg.VetxOutput, data, 0o666)
+}
+
+// PrintVersion implements the `-V=full` half of the go vet tool protocol:
+// the build system hashes the executable into the tool's version string
+// so its build cache invalidates when the tool changes.
+func PrintVersion() error {
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return err
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, string(h.Sum(nil)))
+	return nil
+}
+
+// PrintFlagsJSON implements the `-flags` half of the protocol: `go vet`
+// asks the tool which flags it understands before forwarding any.
+func PrintFlagsJSON(flags []struct {
+	Name  string
+	Bool  bool
+	Usage string
+}) error {
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(data)
+	return err
+}

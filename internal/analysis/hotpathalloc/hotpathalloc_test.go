@@ -1,0 +1,12 @@
+package hotpathalloc_test
+
+import (
+	"testing"
+
+	"enblogue/internal/analysis/checktest"
+	"enblogue/internal/analysis/hotpathalloc"
+)
+
+func TestHotPathAlloc(t *testing.T) {
+	checktest.Run(t, "testdata", hotpathalloc.Analyzer, "hotgood", "hotbad")
+}

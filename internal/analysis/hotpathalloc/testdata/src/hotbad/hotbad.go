@@ -1,0 +1,63 @@
+// Package hotbad is hotpathalloc's violating fixture: each marked line
+// must produce exactly the diagnostic its want regexp describes.
+package hotbad
+
+import "fmt"
+
+// MapPerIter builds a fresh map every iteration.
+//
+//enblogue:hotpath
+func MapPerIter(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		m := map[int]int{i: i} // want `composite literal allocates on every loop iteration in hotpath MapPerIter`
+		total += m[i]
+	}
+	return total
+}
+
+// MakeInLoop allocates a fresh slice every iteration.
+//
+//enblogue:hotpath
+func MakeInLoop(n int) int {
+	total := 0
+	for i := 0; i < n; i++ {
+		b := make([]int, 8) // want `make inside a loop allocates per iteration in hotpath MakeInLoop`
+		total += len(b)
+	}
+	return total
+}
+
+// GrowNil appends into a from-nil slice: un-pre-sized growth.
+//
+//enblogue:hotpath
+func GrowNil(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append to out grows an un-pre-sized slice inside a loop in hotpath GrowNil`
+	}
+	return out
+}
+
+// Format calls into fmt, which boxes every operand.
+//
+//enblogue:hotpath
+func Format(x int) string {
+	return fmt.Sprintf("%d", x) // want `call to fmt.Sprintf in hotpath Format`
+}
+
+// Closure assigns a func literal outside call-argument position.
+//
+//enblogue:hotpath
+func Closure() func() int {
+	n := 0
+	f := func() int { n++; return n } // want `func literal in hotpath Closure may allocate a closure`
+	return f
+}
+
+// Box converts to an interface type, boxing its operand.
+//
+//enblogue:hotpath
+func Box(x int) any {
+	return any(x) // want `conversion to interface type .* boxes its operand in hotpath Box`
+}

@@ -1,0 +1,78 @@
+// Package hotgood is hotpathalloc's clean fixture: the zero-allocation
+// idioms the real ingest path uses, none of which may be diagnosed.
+package hotgood
+
+import "sort"
+
+// Sum allocates nothing.
+//
+//enblogue:hotpath
+func Sum(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// Fill reuses a caller-owned buffer: buf[:0] is pre-paid growth.
+//
+//enblogue:hotpath
+func Fill(buf []int, n int) []int {
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// Presized grows into capacity it reserved up front.
+//
+//enblogue:hotpath
+func Presized(n int) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+// SortInts passes its comparator directly to a call — the tolerated
+// func-literal position (a non-escaping comparator does not allocate).
+//
+//enblogue:hotpath
+func SortInts(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+}
+
+// Hoisted allocates once before the loop, not per iteration.
+//
+//enblogue:hotpath
+func Hoisted(n int) int {
+	scratch := make([]int, 0, 8)
+	total := 0
+	for i := 0; i < n; i++ {
+		scratch = append(scratch[:0], i)
+		total += scratch[0]
+	}
+	return total
+}
+
+// Waived carries the proof obligation for its escaping closure.
+//
+//enblogue:hotpath
+func Waived() func() int {
+	n := 0
+	//enblogue:alloc-ok the closure escapes by design: it is the returned value, built once per call, never per item
+	f := func() int { n++; return n }
+	return f
+}
+
+// Unmarked is off the hot path: anything goes.
+func Unmarked(n int) []map[int]int {
+	var out []map[int]int
+	for i := 0; i < n; i++ {
+		out = append(out, map[int]int{i: i})
+	}
+	return out
+}

@@ -1,0 +1,12 @@
+package lockdiscipline_test
+
+import (
+	"testing"
+
+	"enblogue/internal/analysis/checktest"
+	"enblogue/internal/analysis/lockdiscipline"
+)
+
+func TestLockDiscipline(t *testing.T) {
+	checktest.Run(t, "testdata", lockdiscipline.Analyzer, "lockgood", "lockbad")
+}

@@ -1,0 +1,58 @@
+// Package lockbad is lockdiscipline's violating fixture: each marked line
+// must produce exactly the diagnostic its want regexp describes.
+package lockbad
+
+import "sync"
+
+// T mirrors lockgood's hierarchy.
+type T struct {
+	//enblogue:lock outer 10
+	mu sync.Mutex
+	//enblogue:lock inner 20
+	imu sync.Mutex
+	n   int
+}
+
+// addLocked follows the naming convention but declares nothing.
+func (t *T) addLocked() { t.n++ } // want `addLocked follows the \*Locked naming convention but lacks an //enblogue:requires`
+
+// subLocked declares its contract; Caller below breaks it.
+//
+//enblogue:requires outer
+func (t *T) subLocked() { t.n-- }
+
+// Reenter acquires a class its callers may hold.
+//
+//enblogue:acquires outer
+func (t *T) Reenter() {
+	t.mu.Lock()
+	t.mu.Unlock()
+}
+
+// Caller invokes a requires-annotated function with nothing held.
+func (t *T) Caller() {
+	t.subLocked() // want `call to subLocked requires lock class "outer", which is not held here`
+}
+
+// Inverted acquires outer while holding inner: the order inversion.
+func (t *T) Inverted() {
+	t.imu.Lock()
+	t.mu.Lock() // want `lock order violation: acquiring "outer" \(order 10\) while holding "inner" \(order 20\)`
+	t.mu.Unlock()
+	t.imu.Unlock()
+}
+
+// Twice re-acquires a held class directly.
+func (t *T) Twice() {
+	t.mu.Lock()
+	t.mu.Lock() // want `acquiring lock class "outer" while already holding it: self-deadlock`
+	t.mu.Unlock()
+	t.mu.Unlock()
+}
+
+// ReenterViaCallee re-acquires a held class through an annotated callee.
+func (t *T) ReenterViaCallee() {
+	t.mu.Lock()
+	t.Reenter() // want `call to Reenter acquires lock class "outer", which the caller already holds: self-deadlock`
+	t.mu.Unlock()
+}

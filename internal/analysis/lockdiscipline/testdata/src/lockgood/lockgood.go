@@ -1,0 +1,56 @@
+// Package lockgood is lockdiscipline's clean fixture: correct class
+// declarations, a properly annotated *Locked function, ascending
+// acquisition order, and a goroutine body that does not inherit locks.
+package lockgood
+
+import "sync"
+
+// T carries a two-class lock hierarchy.
+type T struct {
+	//enblogue:lock outer 10
+	mu sync.Mutex
+	//enblogue:lock inner 20
+	imu sync.Mutex
+	n   int
+}
+
+// addLocked mutates under the caller's lock.
+//
+//enblogue:requires outer
+func (t *T) addLocked() { t.n++ }
+
+// Add takes the classes in declared order and meets addLocked's contract.
+//
+//enblogue:acquires outer
+//enblogue:acquires inner
+func (t *T) Add() {
+	t.mu.Lock()
+	t.addLocked()
+	t.imu.Lock()
+	t.imu.Unlock()
+	t.mu.Unlock()
+}
+
+// DeferredUnlock holds via defer for the rest of the body.
+//
+//enblogue:acquires outer
+func (t *T) DeferredUnlock() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addLocked()
+}
+
+// Spawn's goroutine body starts with an empty held-set and takes its own
+// lock; holding outer in the parent does not leak in.
+//
+//enblogue:acquires outer
+func (t *T) Spawn() {
+	t.mu.Lock()
+	t.addLocked()
+	t.mu.Unlock()
+	go func() {
+		t.mu.Lock()
+		t.addLocked()
+		t.mu.Unlock()
+	}()
+}

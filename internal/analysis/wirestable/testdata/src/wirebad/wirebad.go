@@ -1,0 +1,19 @@
+// Package wirebad is wirestable's violating fixture: a renamed tag, a
+// removed field, an unregistered struct, and a manifest entry whose
+// struct vanished.
+package wirebad // want `LostView is in wiremanifest.json but no`
+
+// OldView drifted from the manifest: Msg's wire name changed and Gone was
+// deleted outright.
+//
+//enblogue:wire
+type OldView struct { // want `field Msg renamed on the wire: manifest says "msg", source says "msgX"` `lost field Gone \(json "gone"\) recorded in wiremanifest.json`
+	Msg string `json:"msgX"`
+}
+
+// NewView was never recorded.
+//
+//enblogue:wire
+type NewView struct { // want `wire struct wirebad.NewView is not in wiremanifest.json`
+	A int `json:"a"`
+}

@@ -1,0 +1,23 @@
+// Package wiregood is wirestable's clean fixture: the struct matches the
+// manifest the test injects exactly.
+package wiregood
+
+// PingView is a frozen wire struct.
+//
+//enblogue:wire
+type PingView struct {
+	Msg string `json:"msg"`
+	Seq int    `json:"seq"`
+
+	// internal is unexported: not on the wire, not in the manifest.
+	internal int
+}
+
+// Plain has no wire annotation and is invisible to the analyzer.
+type Plain struct {
+	Whatever string `json:"whatever"`
+}
+
+func (p *PingView) bump() { p.internal++ }
+
+var _ = (&PingView{}).bump

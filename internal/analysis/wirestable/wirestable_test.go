@@ -1,0 +1,38 @@
+package wirestable_test
+
+import (
+	"testing"
+
+	"enblogue/internal/analysis/checktest"
+	"enblogue/internal/analysis/wirestable"
+)
+
+func TestWireStableClean(t *testing.T) {
+	manifest := wirestable.Manifest{
+		"wiregood.PingView": {"Msg": "msg", "Seq": "seq"},
+	}
+	checktest.Run(t, "testdata", wirestable.New(manifest), "wiregood")
+}
+
+func TestWireStableDrift(t *testing.T) {
+	manifest := wirestable.Manifest{
+		"wirebad.OldView":  {"Msg": "msg", "Gone": "gone"},
+		"wirebad.LostView": {"A": "a"},
+	}
+	checktest.Run(t, "testdata", wirestable.New(manifest), "wirebad")
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := wirestable.Manifest{"p.V": {"A": "a"}}
+	data, err := m.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := wirestable.ParseManifest(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back["p.V"]["A"] != "a" {
+		t.Fatalf("round trip lost data: %v", back)
+	}
+}

@@ -128,12 +128,13 @@ func (s *Subscription) view(r Ranking) Ranking {
 	return out
 }
 
-// broker fans published rankings out to subscriptions and the deprecated
-// OnRanking callback from its own dispatcher goroutine.
+// broker fans published rankings out to subscriptions from its own
+// dispatcher goroutine.
 type broker struct {
-	callback func(Ranking) // deprecated OnRanking shim; never called under qmu/mu
-
-	mu     sync.Mutex // guards subs, closed, nextID; held during channel sends
+	// mu guards subs, closed, nextID; held during channel sends.
+	//
+	//enblogue:lock broker 30
+	mu     sync.Mutex
 	subs   map[uint64]*Subscription
 	closed bool
 	nextID uint64
@@ -144,6 +145,10 @@ type broker struct {
 	nsubs        atomic.Int64
 	droppedTotal atomic.Int64
 
+	// qmu guards the dispatch queue. It is never held together with mu:
+	// the dispatcher drains the queue under qmu, then delivers under mu.
+	//
+	//enblogue:lock brokerq 25
 	qmu     sync.Mutex
 	qcond   *sync.Cond
 	queue   []Ranking
@@ -153,8 +158,8 @@ type broker struct {
 	stopped bool
 }
 
-func newBroker(callback func(Ranking)) *broker {
-	b := &broker{callback: callback, subs: make(map[uint64]*Subscription)}
+func newBroker() *broker {
+	b := &broker{subs: make(map[uint64]*Subscription)}
 	b.qcond = sync.NewCond(&b.qmu)
 	return b
 }
@@ -206,6 +211,8 @@ func (b *broker) subscribe(ctx context.Context, opts ...SubOption) *Subscription
 // remove detaches a subscription and closes its channel. Channel sends
 // happen only under b.mu (see deliver), so closing under b.mu cannot race
 // a send.
+//
+//enblogue:acquires broker
 func (b *broker) remove(s *Subscription) {
 	b.mu.Lock()
 	if _, ok := b.subs[s.id]; ok {
@@ -217,6 +224,8 @@ func (b *broker) remove(s *Subscription) {
 }
 
 // subscribers returns the number of live subscriptions.
+//
+//enblogue:acquires broker
 func (b *broker) subscribers() int {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -228,8 +237,10 @@ func (b *broker) subscribers() int {
 // dispatch queue (unbounded, but ticks are rare relative to any realistic
 // consumer) and wakes the dispatcher. When nobody is listening it is a
 // no-op.
+//
+//enblogue:acquires brokerq
 func (b *broker) publish(r Ranking) {
-	if b.callback == nil && b.nsubs.Load() == 0 {
+	if b.nsubs.Load() == 0 {
 		return
 	}
 	b.qmu.Lock()
@@ -248,9 +259,8 @@ func (b *broker) publish(r Ranking) {
 }
 
 // dispatch is the broker's delivery loop: it pops published rankings in
-// order, invokes the deprecated callback, and fans out to subscriptions.
-// It runs outside every engine lock, so callbacks and consumers may call
-// back into the engine freely.
+// order and fans out to subscriptions. It runs outside every engine lock,
+// so consumers may call back into the engine freely.
 func (b *broker) dispatch() {
 	for {
 		b.qmu.Lock()
@@ -265,9 +275,6 @@ func (b *broker) dispatch() {
 		b.queue = b.queue[1:]
 		b.qmu.Unlock()
 
-		if b.callback != nil {
-			b.callback(r.Clone())
-		}
 		b.deliver(r)
 
 		b.qmu.Lock()
@@ -286,6 +293,7 @@ func (b *broker) dispatch() {
 func (b *broker) deliver(r Ranking) {
 	b.mu.Lock()
 	subs := make([]*Subscription, 0, len(b.subs))
+	//enblogue:unordered collects the subscriber set; each subscription receives on its own channel, so delivery order between subscribers is immaterial and no ranking state is touched
 	for _, s := range b.subs {
 		subs = append(subs, s)
 	}
@@ -326,8 +334,8 @@ func (b *broker) deliver(r Ranking) {
 }
 
 // wait blocks until every ranking published before the call has been fully
-// dispatched (callback returned, subscriptions fed). It must not be called
-// from within an OnRanking callback — the dispatcher cannot drain itself.
+// dispatched (subscriptions fed). It must not be called from the
+// dispatcher goroutine itself — the dispatcher cannot drain itself.
 func (b *broker) wait() {
 	b.qmu.Lock()
 	target := b.pubSeq
@@ -351,6 +359,7 @@ func (b *broker) close() {
 	b.mu.Lock()
 	b.closed = true
 	detached := make([]*Subscription, 0, len(b.subs))
+	//enblogue:unordered per-key detach of every subscription; close order between independent subscriber channels is immaterial
 	for id, s := range b.subs {
 		delete(b.subs, id)
 		close(s.ch)

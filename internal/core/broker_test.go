@@ -245,34 +245,35 @@ func TestBrokerPersonaViewMatchesRegistryRerank(t *testing.T) {
 	}
 }
 
-// The deprecated OnRanking shim must run outside the tick lock so the
-// callback can call back into the engine — the documented foot-gun this
-// release removes.
-func TestOnRankingCallbackMayReenterEngine(t *testing.T) {
-	var mu sync.Mutex
+// A subscription consumer runs on its own goroutine, outside every engine
+// lock, so it may call back into the engine freely — the documented
+// contrast with the old in-tick callback design.
+func TestSubscriberMayReenterEngine(t *testing.T) {
+	e := New(testConfig())
+	sub := e.Subscribe(context.Background(), SubBuffer(1<<12))
 	var seen []time.Time
-	cfg := testConfig()
-	var e *Engine
-	cfg.OnRanking = func(r Ranking) {
-		// Previously: deadlock (tick lock held). Now: dispatcher goroutine.
-		e.CurrentRanking()
-		e.Seeds()
-		e.ActivePairs()
-		e.Tick(r.At) // no-op rewind, but takes the tick lock
-		mu.Lock()
-		seen = append(seen, r.At)
-		mu.Unlock()
-	}
-	e = New(cfg)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range sub.Rankings() {
+			// Previously: deadlock (tick lock held). Now: consumer side.
+			e.CurrentRanking()
+			e.Seeds()
+			e.ActivePairs()
+			e.Tick(r.At) // no-op rewind, but takes the tick lock
+			seen = append(seen, r.At)
+		}
+	}()
 	feedDocs(e, background(t0, 4, 25))
-	mu.Lock()
-	defer mu.Unlock()
+	e.Flush()
+	sub.Close()
+	<-done
 	if len(seen) == 0 {
-		t.Fatal("OnRanking never fired")
+		t.Fatal("subscription never fired")
 	}
 	for i := 1; i < len(seen); i++ {
 		if !seen[i].After(seen[i-1]) {
-			t.Errorf("callbacks out of tick order: %v then %v", seen[i-1], seen[i])
+			t.Errorf("deliveries out of tick order: %v then %v", seen[i-1], seen[i])
 		}
 	}
 }

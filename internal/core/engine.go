@@ -116,21 +116,6 @@ type Config struct {
 	// Tagger, when set together with UseEntities, annotates items that
 	// arrive with text but no entities.
 	Tagger *entity.Tagger
-
-	// OnRanking, when set, receives every tick's ranking (a defensive
-	// copy), in tick order, on the engine's broker dispatcher goroutine —
-	// never under the tick/bookkeeping lock. The callback may therefore
-	// call back into the engine: Consume, Tick, Subscribe, and every read
-	// method are all safe. Only Flush and Close must not be called from
-	// inside the callback (they wait for the dispatcher to drain, and the
-	// dispatcher cannot drain itself). Delivery is asynchronous; Flush
-	// blocks until all callbacks for previously fired ticks have returned.
-	//
-	// Deprecated: OnRanking is a thin shim over the subscription broker
-	// and is kept for existing callers. New code should use
-	// Engine.Subscribe, which additionally supports per-subscriber persona
-	// re-ranking, top-k trimming, and bounded drop-oldest buffering.
-	OnRanking func(Ranking)
 }
 
 // normalize is the single place nonsensical configurations are repaired:
@@ -239,6 +224,8 @@ type Engine struct {
 	// statistics) and evaluation ticks against each other. Pair tracking
 	// itself happens outside mu under the per-shard tracker locks, so
 	// concurrent producers contend only on the shards they touch.
+	//
+	//enblogue:lock engine 10
 	mu       sync.Mutex
 	nextTick time.Time
 	lastTick time.Time // newest evaluation time, guards forced-Tick rewinds
@@ -260,12 +247,15 @@ type Engine struct {
 	ingest     atomic.Pointer[ingest.Queue]
 	ingestDone chan struct{}
 
+	// rankMu guards only the published ranking snapshot; it nests inside
+	// engine (tickLocked publishes while holding mu).
+	//
+	//enblogue:lock rank 20
 	rankMu sync.Mutex
 	last   Ranking
 
-	// broker fans every tick's ranking out to subscribers (and the
-	// deprecated OnRanking callback) from a dispatcher goroutine, outside
-	// all engine locks.
+	// broker fans every tick's ranking out to subscribers from a
+	// dispatcher goroutine, outside all engine locks.
 	broker *broker
 }
 
@@ -292,7 +282,7 @@ func New(cfg Config) *Engine {
 		dist:   dist,
 		cfg:    c,
 		tick:   newTickScratch(c.Shards),
-		broker: newBroker(c.OnRanking),
+		broker: newBroker(),
 		tags:   tags,
 		pairsTr: pairs.NewShardedTracker(pairs.Config{
 			Buckets:    c.WindowBuckets,
@@ -354,9 +344,10 @@ func (e *Engine) RankingsDropped() int64 { return e.broker.droppedTotal.Load() }
 // and exits, then the broker waits for in-flight deliveries to drain,
 // stops the dispatcher, and closes every subscription channel. The engine
 // itself remains usable for Consume/Tick/CurrentRanking, but no further
-// rankings are delivered to subscribers or OnRanking. Call Flush first if
-// the final partial tick should still be delivered. Idempotent; must not
-// be called from inside an OnRanking callback.
+// rankings are delivered to subscribers. Call Flush first if the final
+// partial tick should still be delivered. Idempotent; must not be called
+// from inside a subscription consumer that the dispatcher is feeding
+// synchronously.
 func (e *Engine) Close() {
 	if q := e.ingest.Load(); q != nil {
 		q.Close()
@@ -393,6 +384,9 @@ func (e *Engine) itemTags(it *stream.Item) []string {
 // passes tick boundaries. Safe for concurrent use; concurrent producers
 // serialise on the bookkeeping lock but fan pair updates out to the
 // tracker shards in parallel.
+//
+//enblogue:acquires engine
+//enblogue:hotpath
 func (e *Engine) Consume(it *stream.Item) {
 	if it == nil {
 		return
@@ -458,6 +452,9 @@ func (e *Engine) Consume(it *stream.Item) {
 //
 // Safe for concurrent use with every other engine method; determinism is
 // promised for a sequentially fed stream, as with Consume.
+//
+//enblogue:acquires engine
+//enblogue:hotpath
 func (e *Engine) ConsumeBatch(items []*stream.Item) {
 	if len(items) == 0 {
 		return
@@ -465,6 +462,7 @@ func (e *Engine) ConsumeBatch(items []*stream.Item) {
 	e.mu.Lock()
 	pend := e.batchDocs[:0]
 	isSeed := e.seeds.Func()
+	//enblogue:alloc-ok one closure per ConsumeBatch call, amortised over the whole batch; BenchmarkConsumeBatchAllocs pins the per-item count
 	flush := func() {
 		if len(pend) == 0 {
 			return
@@ -590,10 +588,11 @@ func (e *Engine) IngestDropped() int64 {
 // evaluation at (or after) that time already ran, in which case
 // re-evaluating would only feed every pair's predictor a duplicate
 // observation. Flush then blocks until every ranking published so far has
-// been fully delivered (OnRanking callbacks returned, subscription
-// channels fed), establishing a happens-before edge: state written by a
-// callback is safely readable after Flush returns. It must not be called
-// from inside an OnRanking callback.
+// been fully delivered (subscription channels fed), establishing a
+// happens-before edge: state visible to the dispatcher before Flush is
+// safely readable after Flush returns.
+//
+//enblogue:acquires engine
 func (e *Engine) Flush() {
 	if q := e.ingest.Load(); q != nil {
 		q.WaitIdle()
@@ -613,6 +612,8 @@ func (e *Engine) Flush() {
 // unchanged): a wall-clock ticker that loaded LastEventTime just before an
 // event-driven tick fired must not rewind the published ranking or feed
 // the predictors a duplicate observation.
+//
+//enblogue:acquires engine
 func (e *Engine) Tick(t time.Time) Ranking {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -801,6 +802,9 @@ func (ts *tickScratch) count(id uint32) float64 {
 // shard's top-k, so concatenating the per-shard prefixes and re-sorting
 // with the same comparator yields the same ranking a single global sort
 // would.
+//
+//enblogue:requires engine
+//enblogue:acquires rank
 func (e *Engine) tickLocked(t time.Time) Ranking {
 	if t.After(e.lastTick) {
 		e.lastTick = t
@@ -918,9 +922,9 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 	e.rankMu.Lock()
 	e.last = r
 	e.rankMu.Unlock()
-	// Hand the ranking to the broker; delivery (subscriptions and the
-	// deprecated OnRanking callback) happens on the dispatcher goroutine,
-	// outside e.mu, so consumers may call back into the engine.
+	// Hand the ranking to the broker; delivery to subscriptions happens
+	// on the dispatcher goroutine, outside e.mu, so consumers may call
+	// back into the engine.
 	e.broker.publish(r)
 	return r
 }
@@ -928,6 +932,8 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 // CurrentRanking returns a defensive copy of the most recent ranking. Safe
 // for concurrent use with the consuming goroutine; mutating the returned
 // slices cannot corrupt the engine's published state.
+//
+//enblogue:acquires rank
 func (e *Engine) CurrentRanking() Ranking {
 	e.rankMu.Lock()
 	defer e.rankMu.Unlock()

@@ -80,14 +80,13 @@ func rankingsEqual(t *testing.T, label string, a, b []Ranking) {
 func TestEngineShardedMatchesSerial(t *testing.T) {
 	docs := determinismStream()
 	run := func(shards int) []Ranking {
-		var out []Ranking
 		cfg := testConfig()
 		cfg.Shards = shards
 		cfg.MaxPairs = 60 // small budget so eviction paths are exercised too
-		cfg.OnRanking = func(r Ranking) { out = append(out, r) }
 		e := New(cfg)
+		stop := recordRankings(e)
 		feedDocs(e, docs)
-		return out
+		return stop()
 	}
 	serial := run(1)
 	if len(serial) == 0 {
@@ -111,14 +110,13 @@ func TestEngineShardedMatchesSerial(t *testing.T) {
 func TestEngineShardedMatchesSerialDistMode(t *testing.T) {
 	docs := determinismStream()
 	run := func(shards int) []Ranking {
-		var out []Ranking
 		cfg := testConfig()
 		cfg.Shards = shards
 		cfg.DistributionMode = true
-		cfg.OnRanking = func(r Ranking) { out = append(out, r) }
 		e := New(cfg)
+		stop := recordRankings(e)
 		feedDocs(e, docs)
-		return out
+		return stop()
 	}
 	serial := run(1)
 	rankingsEqual(t, "dist-shards-4", serial, run(4))

@@ -23,6 +23,28 @@ func feedDocs(e *Engine, docs []source.Document) {
 	e.Flush()
 }
 
+// recordRankings subscribes to e with a buffer far beyond any test
+// workload's tick count and drains on a goroutine. The returned stop
+// function flushes the engine, detaches the subscription, joins the
+// drainer, and hands back every delivered ranking in tick order.
+func recordRankings(e *Engine) func() []Ranking {
+	sub := e.Subscribe(context.Background(), SubBuffer(1<<16))
+	var got []Ranking
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for r := range sub.Rankings() {
+			got = append(got, r)
+		}
+	}()
+	return func() []Ranking {
+		e.Flush()
+		sub.Close()
+		<-done
+		return got
+	}
+}
+
 // testConfig returns a small fast configuration suitable for unit streams.
 func testConfig() Config {
 	return Config{
@@ -87,10 +109,9 @@ func TestEngineSeedBootstrap(t *testing.T) {
 }
 
 func TestEngineDetectsInjectedShift(t *testing.T) {
-	var rankings []Ranking
 	cfg := testConfig()
-	cfg.OnRanking = func(r Ranking) { rankings = append(rankings, r) }
 	e := New(cfg)
+	stop := recordRankings(e)
 
 	docs := background(t0, 10, 30)
 	// Injected event in hour 6..8: "politics" (a seed) suddenly co-occurs
@@ -108,6 +129,7 @@ func TestEngineDetectsInjectedShift(t *testing.T) {
 	source.SortDocs(docs)
 	feedDocs(e, docs)
 
+	rankings := stop()
 	if len(rankings) == 0 {
 		t.Fatal("no rankings emitted")
 	}
@@ -177,14 +199,12 @@ func TestEngineRankingIDsAndOrder(t *testing.T) {
 
 func TestEngineTickFastForwardOnGap(t *testing.T) {
 	cfg := testConfig()
-	ticks := 0
-	cfg.OnRanking = func(Ranking) { ticks++ }
 	e := New(cfg)
+	stop := recordRankings(e)
 	e.Consume(&stream.Item{Time: t0, DocID: "a", Tags: []string{"x", "y"}})
 	// A year-long gap must not fire thousands of hourly ticks.
 	e.Consume(&stream.Item{Time: t0.Add(365 * 24 * time.Hour), DocID: "b", Tags: []string{"x", "y"}})
-	e.Flush() // drain the dispatcher so the callback count is settled
-	if ticks > 5 {
+	if ticks := len(stop()); ticks > 5 {
 		t.Errorf("gap fired %d ticks, want fast-forward", ticks)
 	}
 }
@@ -309,8 +329,12 @@ func TestEngineArchiveEndToEnd(t *testing.T) {
 		TopK:             15,
 	}
 	truth := source.TruthPairs(events)
+	e := New(cfg)
+	stop := recordRankings(e)
+	feedDocs(e, docs)
+
 	firstSeen := map[pairs.Key]time.Time{}
-	cfg.OnRanking = func(r Ranking) {
+	for _, r := range stop() {
 		for _, topic := range r.Topics {
 			if truth[topic.Pair] {
 				if _, ok := firstSeen[topic.Pair]; !ok {
@@ -319,8 +343,6 @@ func TestEngineArchiveEndToEnd(t *testing.T) {
 			}
 		}
 	}
-	e := New(cfg)
-	feedDocs(e, docs)
 
 	for _, ev := range events {
 		at, ok := firstSeen[ev.Pair()]

@@ -22,6 +22,10 @@ import (
 type Hub struct {
 	cfg HubConfig
 
+	// mu guards the tenant registry only; engine methods are never called
+	// under it, so it is the outermost class in the process.
+	//
+	//enblogue:lock hub 5
 	mu      sync.Mutex
 	tenants map[string]*Engine
 	closed  bool
@@ -80,6 +84,8 @@ func ValidateTenantName(name string) error {
 // (create-or-get). A new tenant's config is the hub's Defaults with the
 // given mutators applied on top; for an existing tenant the mutators are
 // ignored — the first Open wins, so concurrent racers agree on one engine.
+//
+//enblogue:acquires hub
 func (h *Hub) Open(name string, mutate ...func(*Config)) (*Engine, error) {
 	if err := ValidateTenantName(name); err != nil {
 		return nil, err
@@ -107,6 +113,8 @@ func (h *Hub) Open(name string, mutate ...func(*Config)) (*Engine, error) {
 }
 
 // Get returns the named tenant's engine without creating it.
+//
+//enblogue:acquires hub
 func (h *Hub) Get(name string) (*Engine, bool) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -115,10 +123,13 @@ func (h *Hub) Get(name string) (*Engine, bool) {
 }
 
 // List returns the open tenant names, sorted.
+//
+//enblogue:acquires hub
 func (h *Hub) List() []string {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make([]string, 0, len(h.tenants))
+	//enblogue:unordered collect-then-sort: the names are sorted before returning
 	for name := range h.tenants {
 		out = append(out, name)
 	}
@@ -127,6 +138,8 @@ func (h *Hub) List() []string {
 }
 
 // Len returns the number of open tenants.
+//
+//enblogue:acquires hub
 func (h *Hub) Len() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -137,6 +150,8 @@ func (h *Hub) Len() int {
 // (draining in-flight deliveries and closing every subscription channel).
 // It reports whether the tenant existed. The engine close runs outside the
 // hub lock — a subscriber callback may call back into the hub freely.
+//
+//enblogue:acquires hub
 func (h *Hub) CloseTenant(name string) bool {
 	h.mu.Lock()
 	e, ok := h.tenants[name]
@@ -151,10 +166,13 @@ func (h *Hub) CloseTenant(name string) bool {
 // snapshot returns the current engines outside any lock, so hub-wide
 // operations that block on broker drains cannot deadlock with subscriber
 // callbacks re-entering the hub.
+//
+//enblogue:acquires hub
 func (h *Hub) snapshot() []*Engine {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	out := make([]*Engine, 0, len(h.tenants))
+	//enblogue:unordered collects the engine set; per-tenant engines are independent, no cross-tenant state orders them
 	for _, e := range h.tenants {
 		out = append(out, e)
 	}
@@ -173,10 +191,13 @@ func (h *Hub) Flush() {
 // Close closes every tenant's engine and marks the hub closed: subsequent
 // Opens fail, and the registry empties. Tenants flushing final state should
 // be Flushed first. Idempotent.
+//
+//enblogue:acquires hub
 func (h *Hub) Close() {
 	h.mu.Lock()
 	h.closed = true
 	engines := make([]*Engine, 0, len(h.tenants))
+	//enblogue:unordered collects engines for shutdown; close order between independent tenants is immaterial
 	for _, e := range h.tenants {
 		engines = append(engines, e)
 	}

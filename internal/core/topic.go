@@ -42,6 +42,7 @@ func (e *Engine) ExpandTopic(k pairs.Key, maxExtra int) []string {
 		strength float64
 	}
 	var cands []cand
+	//enblogue:unordered collect-then-sort: cands are sorted by (strength, tag) before use
 	for tag, c1 := range co1 {
 		if c2, ok := co2[tag]; ok {
 			s := c1

@@ -35,6 +35,10 @@ type Table struct {
 	// lock. Writers replace it wholesale under mu.
 	snapshot atomic.Pointer[snapshot]
 
+	// mu guards pending and byID writes; it is the innermost lock in the
+	// process — Intern is called from the pair trackers' locked paths.
+	//
+	//enblogue:lock intern 90
 	mu      sync.Mutex
 	pending map[string]uint32 // interned since the last promotion
 	byID    []string          // authoritative id → string, append-only
@@ -74,6 +78,8 @@ func (t *Table) Intern(s string) uint32 {
 // tag-count snapshot) use Find so that ID assignment happens only on the
 // ingest path, in first-seen stream order — the property that makes shard
 // assignment reproducible across replays of the same stream.
+//
+//enblogue:acquires intern
 func (t *Table) Find(s string) (uint32, bool) {
 	if id, ok := t.load().ids[s]; ok {
 		return id, true
@@ -86,6 +92,8 @@ func (t *Table) Find(s string) (uint32, bool) {
 
 // internSlow handles snapshot misses: recently interned strings still in
 // pending, and genuinely new strings.
+//
+//enblogue:acquires intern
 func (t *Table) internSlow(s string) uint32 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -107,9 +115,11 @@ func (t *Table) internSlow(s string) uint32 {
 	// amortised O(1) per insert.
 	if snap := t.load(); len(t.pending) >= len(snap.ids)/4+16 {
 		ids := make(map[string]uint32, len(snap.ids)+len(t.pending))
+		//enblogue:unordered map-to-map copy; inserting (string, id) pairs into the new snapshot is commutative
 		for k, v := range snap.ids {
 			ids[k] = v
 		}
+		//enblogue:unordered map-to-map copy of disjoint pending entries; insertion order is immaterial
 		for k, v := range t.pending {
 			ids[k] = v
 		}
@@ -122,6 +132,8 @@ func (t *Table) internSlow(s string) uint32 {
 // Lookup returns the string with the given ID, or "" when the ID has never
 // been assigned. Looking up an ID that was just interned is always valid,
 // from any goroutine that learned the ID.
+//
+//enblogue:acquires intern
 func (t *Table) Lookup(id uint32) string {
 	if s := t.load(); int(id) < len(s.byID) {
 		return s.byID[id]

@@ -72,6 +72,10 @@ func getBatchScratch(n int) *batchScratch {
 // Documents are prepared (deduplicated, interned, seed-tested) in document
 // order, so interned-ID assignment — and therefore shard placement — is
 // also identical to the serial path.
+//
+//enblogue:acquires pairsShard
+//enblogue:acquires pairsSweep
+//enblogue:hotpath
 func (tr *ShardedTracker) ObserveBatch(docs []BatchDoc, isSeed func(string) bool) {
 	if len(docs) == 0 {
 		return

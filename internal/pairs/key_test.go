@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"strings"
 	"testing"
-	"time"
 )
 
 // Key.Compare must order exactly like comparing the rendered "tag1+tag2"
@@ -59,9 +58,11 @@ func TestKeyIDsRoundTrip(t *testing.T) {
 // Rendering must be independent of interning order: the lexicographically
 // smaller tag is always Tag1, even when it was interned second.
 func TestKeyRenderOrderIndependentOfInterning(t *testing.T) {
-	// "zz-last" interns after "aa-first" regardless of prior test state.
-	hi := fmt.Sprintf("zz-%d", time.Now().UnixNano())
-	lo := fmt.Sprintf("aa-%d", time.Now().UnixNano())
+	// Tags unique to this test, so "zz-…" interns after "aa-…" no matter
+	// what prior tests put in the shared table — fixed strings keep the
+	// test deterministic across runs.
+	hi := "zz-keyrender-interned-second"
+	lo := "aa-keyrender-interned-first"
 	for _, k := range []Key{MakeKey(hi, lo), MakeKey(lo, hi)} {
 		if k.Tag1() != lo || k.Tag2() != hi {
 			t.Fatalf("render order wrong: %q + %q", k.Tag1(), k.Tag2())

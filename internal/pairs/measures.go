@@ -64,6 +64,7 @@ func (m Measure) String() string {
 
 // ParseMeasure resolves a measure by name.
 func ParseMeasure(name string) (Measure, error) {
+	//enblogue:unordered linear search of a bijective name table; at most one entry matches, so visit order cannot change the result
 	for m, s := range measureNames {
 		if s == name {
 			return m, nil
@@ -148,12 +149,14 @@ func (m Measure) Compute(nab, na, nb, n float64) float64 {
 func unionSupport(p, q map[string]float64, positiveOnly bool) []string {
 	support := make([]string, 0, len(p)+len(q))
 	seen := make(map[string]bool, len(p)+len(q))
+	//enblogue:unordered collect-then-sort: support is sorted before returning
 	for k, v := range p {
 		if !positiveOnly || v > 0 {
 			support = append(support, k)
 			seen[k] = true
 		}
 	}
+	//enblogue:unordered collect-then-sort: support is sorted before returning
 	for k, v := range q {
 		if seen[k] {
 			continue
@@ -267,11 +270,13 @@ func exclVal(m map[string]float64, k, ex string, useEx bool) float64 {
 // dedup map: a key from q is skipped when p already contributed it.
 func unionSupportExcluding(p, q map[string]float64, exp, exq string, useEx bool) []string {
 	support := make([]string, 0, len(p)+len(q))
+	//enblogue:unordered collect-then-sort: support is sorted before returning
 	for k, v := range p {
 		if v > 0 && !(useEx && k == exp) {
 			support = append(support, k)
 		}
 	}
+	//enblogue:unordered collect-then-sort: support is sorted before returning
 	for k, v := range q {
 		if v <= 0 || (useEx && k == exq) {
 			continue

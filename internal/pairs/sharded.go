@@ -26,6 +26,7 @@ type PairCount struct {
 // quiet shards expire their counters at the same times the serial Tracker
 // would.
 type trackerShard struct {
+	//enblogue:lock pairsShard 50
 	mu    sync.Mutex
 	slots map[Key]int32
 	arena *window.CounterArena
@@ -58,7 +59,11 @@ type ShardedTracker struct {
 	npairs  atomic.Int64 // total tracked pairs across shards
 	nowNano atomic.Int64 // max observed event time, unix nanos
 	sinceGC atomic.Int64 // Observe calls since the last sweep
-	sweepMu sync.Mutex   // serialises whole-tracker sweeps
+	// sweepMu serialises whole-tracker sweeps. It is taken before any
+	// shard lock (sweepLocked walks the shards under it), never after.
+	//
+	//enblogue:lock pairsSweep 40
+	sweepMu sync.Mutex
 }
 
 // NewShardedTracker returns a sharded pair tracker. cfg.Shards <= 1 yields a
@@ -140,6 +145,10 @@ func getScratch(n int) *observeScratch {
 // satisfying isSeed; nil isSeed tracks all pairs). Safe for concurrent use;
 // concurrent observers contend only on the shards their pairs hash to, and
 // each shard lock is taken at most once per document.
+//
+//enblogue:acquires pairsShard
+//enblogue:acquires pairsSweep
+//enblogue:hotpath
 func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string) bool) {
 	tr.advanceNow(t)
 	if len(tags) >= 2 {
@@ -212,6 +221,9 @@ func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string
 
 // incLocked upserts pair k's counter slot in sh and records the event at
 // time t. The caller must hold sh.mu.
+//
+//enblogue:requires pairsShard
+//enblogue:hotpath
 func (tr *ShardedTracker) incLocked(sh *trackerShard, k Key, t time.Time) {
 	tr.incLockedAbs(sh, k, sh.arena.BucketIndex(t))
 }
@@ -219,6 +231,9 @@ func (tr *ShardedTracker) incLocked(sh *trackerShard, k Key, t time.Time) {
 // incLockedAbs is incLocked with the event time pre-converted to an
 // absolute bucket index — the batch path converts once per document. The
 // caller must hold sh.mu.
+//
+//enblogue:requires pairsShard
+//enblogue:hotpath
 func (tr *ShardedTracker) incLockedAbs(sh *trackerShard, k Key, abs int64) {
 	slot, ok := sh.slots[k]
 	if !ok {
@@ -234,6 +249,8 @@ func (tr *ShardedTracker) incLockedAbs(sh *trackerShard, k Key, abs int64) {
 }
 
 // dropLocked removes pair k's slot from sh. The caller must hold sh.mu.
+//
+//enblogue:requires pairsShard
 func (tr *ShardedTracker) dropLocked(sh *trackerShard, k Key, slot int32) {
 	delete(sh.slots, k)
 	sh.keys[slot] = Key{}
@@ -251,6 +268,8 @@ func (tr *ShardedTracker) sweepDue() bool {
 // windows have emptied, and — if the tracker is still over MaxPairs —
 // evicts the pairs with the smallest windowed counts, ties broken by key,
 // ranked globally across all shards. Safe for concurrent use.
+//
+//enblogue:acquires pairsSweep
 func (tr *ShardedTracker) Sweep() {
 	tr.sweepMu.Lock()
 	defer tr.sweepMu.Unlock()
@@ -258,6 +277,9 @@ func (tr *ShardedTracker) Sweep() {
 }
 
 // sweepLocked is Sweep's body; callers must hold sweepMu.
+//
+//enblogue:requires pairsSweep
+//enblogue:acquires pairsShard
 func (tr *ShardedTracker) sweepLocked() {
 	tr.sinceGC.Store(0)
 	now := tr.now()
@@ -284,6 +306,7 @@ func (tr *ShardedTracker) sweepLocked() {
 	all := make([]counted[Key], 0, tr.npairs.Load())
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
+		//enblogue:unordered collects every pair; evictSmallest ranks by (count, key), a strict total order independent of input order
 		for k, slot := range sh.slots {
 			all = append(all, counted[Key]{k, sh.arena.Value(slot)})
 		}
@@ -301,6 +324,8 @@ func (tr *ShardedTracker) sweepLocked() {
 
 // Cooccurrence returns the number of windowed documents carrying both tags
 // of the pair. Safe for concurrent use.
+//
+//enblogue:acquires pairsShard
 func (tr *ShardedTracker) Cooccurrence(k Key) float64 {
 	sh := tr.shards[k.Shard(len(tr.shards))]
 	now := tr.now()
@@ -332,10 +357,13 @@ func (tr *ShardedTracker) Series(k Key) []float64 {
 func (tr *ShardedTracker) ActivePairs() int { return int(tr.npairs.Load()) }
 
 // Keys returns all tracked pair keys across shards in unspecified order.
+//
+//enblogue:acquires pairsShard
 func (tr *ShardedTracker) Keys() []Key {
 	out := make([]Key, 0, tr.npairs.Load())
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
+		//enblogue:unordered documented unspecified order; ranking consumers sort or select with a strict total order
 		for k := range sh.slots {
 			out = append(out, k)
 		}
@@ -363,6 +391,8 @@ func (tr *ShardedTracker) Snapshot(i int) []PairCount {
 // cannot affect rankings — per-pair evaluation is independent, and every
 // downstream selection (top-k heaps, final sorts) uses a strict total
 // order, so any input order yields the same ranking.
+//
+//enblogue:acquires pairsShard
 func (tr *ShardedTracker) AppendSnapshot(i int, buf []PairCount) []PairCount {
 	sh := tr.shards[i]
 	now := tr.now()

@@ -234,6 +234,7 @@ func (tr *Tracker) maybeSweep() {
 		return
 	}
 	tr.sinceGC = 0
+	//enblogue:unordered per-key delete of emptied counters; deletions are independent and commute
 	for k, slot := range tr.slots {
 		if tr.arena.ValueAt(slot, tr.now) == 0 {
 			delete(tr.slots, k)
@@ -245,6 +246,7 @@ func (tr *Tracker) maybeSweep() {
 	}
 	// Still over budget: evict the smallest co-occurrence counts.
 	all := make([]counted[Key], 0, len(tr.slots))
+	//enblogue:unordered collects every pair; evictSmallest ranks by (count, key), a strict total order independent of input order
 	for k, slot := range tr.slots {
 		all = append(all, counted[Key]{k, tr.arena.Value(slot)})
 	}
@@ -282,6 +284,7 @@ func (tr *Tracker) ActivePairs() int { return len(tr.slots) }
 // freshly allocated.
 func (tr *Tracker) Keys() []Key {
 	out := make([]Key, 0, len(tr.slots))
+	//enblogue:unordered documented unspecified order; ranking consumers sort or select with a strict total order
 	for k := range tr.slots {
 		out = append(out, k)
 	}
@@ -320,6 +323,7 @@ func (tr *Tracker) Correlation(k Key, m Measure, na, nb, n float64) float64 {
 // plain Tracker applies to pairs. Safe for concurrent use: all methods are
 // serialised by an internal mutex.
 type DistTracker struct {
+	//enblogue:lock pairsDist 55
 	mu       sync.Mutex
 	cfg      Config
 	byTag    map[string]map[string]*window.Counter
@@ -335,6 +339,8 @@ func NewDistTracker(cfg Config) *DistTracker {
 }
 
 // Observe records the co-tag distribution contributions of one document.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) Observe(t time.Time, tags []string) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
@@ -345,6 +351,8 @@ func (dt *DistTracker) Observe(t time.Time, tags []string) {
 // acquisition. Per-document semantics — including sweep timing, which is
 // checked inside the lock after every document exactly as Observe does —
 // are identical to calling Observe per document.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) ObserveBatch(docs []BatchDoc) {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
@@ -354,6 +362,8 @@ func (dt *DistTracker) ObserveBatch(docs []BatchDoc) {
 }
 
 // observeLocked is Observe's body; callers must hold dt.mu.
+//
+//enblogue:requires pairsDist
 func (dt *DistTracker) observeLocked(t time.Time, tags []string) {
 	if t.After(dt.now) {
 		dt.now = t
@@ -401,7 +411,9 @@ func distKeyLess(a, b distKey) bool {
 // (tag, co) order for determinism. Callers must hold dt.mu.
 func (dt *DistTracker) sweep() {
 	dt.sinceGC = 0
+	//enblogue:unordered per-key advance-and-delete of emptied counters; each counter is touched independently, deletions commute
 	for tag, m := range dt.byTag {
+		//enblogue:unordered per-key advance-and-delete; see outer loop
 		for co, c := range m {
 			c.Observe(dt.now)
 			if c.Value() == 0 {
@@ -417,7 +429,9 @@ func (dt *DistTracker) sweep() {
 		return
 	}
 	all := make([]counted[distKey], 0, dt.counters)
+	//enblogue:unordered collects every counter; evictSmallest ranks by (count, key), a strict total order independent of input order
 	for tag, m := range dt.byTag {
+		//enblogue:unordered collect for deterministic global ranking; see outer loop
 		for co, c := range m {
 			all = append(all, counted[distKey]{distKey{tag, co}, c.Value()})
 		}
@@ -432,6 +446,8 @@ func (dt *DistTracker) sweep() {
 }
 
 // Counters returns the total number of (tag, co-tag) counters tracked.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) Counters() int {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
@@ -440,6 +456,8 @@ func (dt *DistTracker) Counters() int {
 
 // Distribution returns tag's windowed co-tag counts as a map. The map is
 // freshly allocated.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) Distribution(tag string) map[string]float64 {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
@@ -447,12 +465,15 @@ func (dt *DistTracker) Distribution(tag string) map[string]float64 {
 }
 
 // distributionLocked is Distribution's body; callers must hold dt.mu.
+//
+//enblogue:requires pairsDist
 func (dt *DistTracker) distributionLocked(tag string) map[string]float64 {
 	m, ok := dt.byTag[tag]
 	if !ok {
 		return nil
 	}
 	out := make(map[string]float64, len(m))
+	//enblogue:unordered map-to-map copy; inserting into the result map is commutative, and consumers iterate it over sorted support
 	for co, c := range m {
 		c.Observe(dt.now)
 		if v := c.Value(); v > 0 {
@@ -470,6 +491,8 @@ func (dt *DistTracker) distributionLocked(tag string) map[string]float64 {
 // *company*, and each is trivially its partner's company. Both snapshots
 // are taken under one lock acquisition, so a concurrent Observe cannot
 // land between them and skew the comparison.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) Similarity(a, b string) float64 {
 	dt.mu.Lock()
 	da := dt.distributionLocked(a)
@@ -506,10 +529,13 @@ func lenExcluding(m map[string]float64, ex string) int {
 // the tracker clock, under a single lock acquisition. Parallel evaluation
 // workers take one snapshot per tick and compute similarities lock-free
 // via SimilarityFrom instead of serialising on the tracker mutex per pair.
+//
+//enblogue:acquires pairsDist
 func (dt *DistTracker) Snapshot() map[string]map[string]float64 {
 	dt.mu.Lock()
 	defer dt.mu.Unlock()
 	out := make(map[string]map[string]float64, len(dt.byTag))
+	//enblogue:unordered map-to-map copy keyed by tag; per-tag distributions are independent, insertion order is immaterial
 	for tag := range dt.byTag {
 		out[tag] = dt.distributionLocked(tag)
 	}

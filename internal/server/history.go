@@ -19,6 +19,8 @@ import (
 // automatically.
 
 // HistoryEntryView is the wire form of one range-query result row.
+//
+//enblogue:wire
 type HistoryEntryView struct {
 	Tag1  string    `json:"tag1"`
 	Tag2  string    `json:"tag2"`
@@ -99,6 +101,8 @@ func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
 }
 
 // TrajectoryPointView is the wire form of one trajectory sample.
+//
+//enblogue:wire
 type TrajectoryPointView struct {
 	At    time.Time `json:"at"`
 	Rank  int       `json:"rank"`

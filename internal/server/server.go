@@ -49,6 +49,8 @@ type Engine interface {
 }
 
 // TopicView is the wire form of one ranked emergent topic.
+//
+//enblogue:wire
 type TopicView struct {
 	Rank         int     `json:"rank"`
 	Tag1         string  `json:"tag1"`
@@ -60,6 +62,8 @@ type TopicView struct {
 
 // RankingView is the wire form of one tick's output, optionally
 // personalized per registered profile.
+//
+//enblogue:wire
 type RankingView struct {
 	At       time.Time              `json:"at"`
 	Seeds    []string               `json:"seeds,omitempty"`
@@ -71,6 +75,8 @@ type RankingView struct {
 
 // AlertView is the wire form of one continuous-query notification: a topic
 // matching the user's standing preferences newly entered their top-k.
+//
+//enblogue:wire
 type AlertView struct {
 	User  string  `json:"user"`
 	Tag1  string  `json:"tag1"`
@@ -392,6 +398,8 @@ func (s *Server) removeTenant(name string) bool {
 
 // StatsView is the wire form of GET /v1/stats and the per-tenant
 // /v1/tenants/{tenant}/stats.
+//
+//enblogue:wire
 type StatsView struct {
 	DocsProcessed   int64     `json:"docsProcessed"`
 	ActivePairs     int       `json:"activePairs"`

@@ -43,6 +43,8 @@ func (s *Server) getOpener() Opener {
 }
 
 // TenantView is the stable wire form of one tenant's summary.
+//
+//enblogue:wire
 type TenantView struct {
 	Name          string    `json:"name"`
 	Created       time.Time `json:"created"`
@@ -165,6 +167,8 @@ func (s *Server) handleTenantDelete(w http.ResponseWriter, r *http.Request) {
 }
 
 // IngestView is the wire form of a POST items response.
+//
+//enblogue:wire
 type IngestView struct {
 	// Consumed is the number of documents fed to the engine from this
 	// request, Skipped the number of malformed JSONL lines dropped.

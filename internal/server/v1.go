@@ -23,6 +23,8 @@ import (
 // Example payloads are documented in DESIGN.md §5 and §7.
 
 // ProfileView is the stable wire form of one personalization profile.
+//
+//enblogue:wire
 type ProfileView struct {
 	Name       string   `json:"name"`
 	Keywords   []string `json:"keywords,omitempty"`

@@ -175,12 +175,3 @@ func WithIngestFlushInterval(d time.Duration) Option {
 func WithIngestDropOldest() Option {
 	return func(c *core.Config) { c.IngestDropOldest = true }
 }
-
-// WithOnRanking installs the legacy per-tick callback.
-//
-// Deprecated: use Engine.Subscribe, which supports per-subscriber persona
-// re-ranking, top-k trimming, and bounded drop-oldest buffering. The
-// callback runs on the broker dispatcher goroutine; see core.Config.
-func WithOnRanking(fn func(Ranking)) Option {
-	return func(c *core.Config) { c.OnRanking = fn }
-}
