@@ -79,7 +79,8 @@ func TestBroadcastBitIdenticalToCurrentRankingAllShardCounts(t *testing.T) {
 		engine.Close()
 
 		var got []enblogue.Ranking
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			got = append(got, r)
 		}
 		if len(got) == 0 {
@@ -132,7 +133,8 @@ func TestPublicPersonaSubscriptionMatchesRegistry(t *testing.T) {
 	engine.Close()
 
 	var last enblogue.Ranking
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		last = r
 	}
 	cur := engine.CurrentRanking()

@@ -63,7 +63,8 @@ func record(e *enblogue.Engine) *rankingRecorder {
 	sub := e.Subscribe(context.Background(), enblogue.SubBuffer(1<<16))
 	go func() {
 		defer close(rec.done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			rec.got = append(rec.got, r)
 		}
 	}()

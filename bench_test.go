@@ -24,6 +24,7 @@ import (
 	"enblogue/internal/experiments"
 	"enblogue/internal/pairs"
 	"enblogue/internal/predict"
+	"enblogue/internal/shift"
 	"enblogue/internal/source"
 	"enblogue/internal/stream"
 )
@@ -243,4 +244,67 @@ func BenchmarkEntityTagging(b *testing.B) {
 
 func benchName(prefix string, n int) string {
 	return fmt.Sprintf("%s-%d", prefix, n)
+}
+
+// BenchmarkBroadcastSubscribers measures per-tick dispatch cost across the
+// subscription index as the subscriber population and matched fraction
+// sweep: matched subscribers stand on a tag that moves every tick,
+// unmatched ones on tags that never appear in the ranking. With inverted
+// tag→subscriber dispatch the per-tick cost tracks the matched count, not
+// the population — the 1%-matched column must be ≥10× cheaper than the
+// 100%-matched (broadcast-equivalent) column, and unmatched subscribers
+// contribute zero work and zero allocations (pinned separately by
+// TestDispatchUnmatchedZeroAllocs).
+func BenchmarkBroadcastSubscribers(b *testing.B) {
+	for _, subs := range []int{100, 10_000, 1_000_000} {
+		for _, pct := range []int{1, 10, 100} {
+			tier := fmt.Sprintf("subs-%d", subs)
+			if subs >= 1_000_000 {
+				tier = fmt.Sprintf("subs-%d-sim", subs)
+			}
+			b.Run(fmt.Sprintf("%s/matched-%d", tier, pct), func(b *testing.B) {
+				e := core.New(core.Config{})
+				defer e.Close()
+				matched := subs * pct / 100
+				for i := 0; i < subs; i++ {
+					if i < matched {
+						e.Subscribe(nil, core.SubTags("bench-hot"), core.SubBuffer(1))
+					} else {
+						// Cold tags are shared across subscribers: posting-list
+						// size does not matter for untouched tags, only that
+						// they never move.
+						e.Subscribe(nil, core.SubTags(fmt.Sprintf("bench-cold-%d", i%1024)), core.SubBuffer(1))
+					}
+				}
+				// A realistic top-k ranking: the hot pair plus stable filler.
+				topics := []shift.Topic{{Pair: pairs.MakeKey("bench-hot", "bench-partner"), Score: 1}}
+				for i := 0; i < 9; i++ {
+					topics = append(topics, shift.Topic{
+						Pair:  pairs.MakeKey(fmt.Sprintf("bench-fill-%d", i), "bench-partner"),
+						Score: 0.5,
+					})
+				}
+				r := core.Ranking{
+					At:     time.Date(2011, 6, 12, 0, 0, 0, 0, time.UTC),
+					Seeds:  []string{"bench-hot"},
+					Topics: topics,
+				}
+				// Warm the dispatcher scratch and deliver the initial views.
+				for i := 0; i < 2; i++ {
+					r.At = r.At.Add(time.Second)
+					r.Topics[0].Score += 1
+					e.PublishRanking(r)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					r.At = r.At.Add(time.Second)
+					r.Topics[0].Score += 1
+					e.PublishRanking(r)
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(matched)*float64(b.N)/b.Elapsed().Seconds(), "notifs/s")
+			})
+		}
+	}
 }

@@ -89,7 +89,8 @@ func main() {
 		sub := engine.Subscribe(context.Background(), enblogue.SubBuffer(1<<15))
 		go func() {
 			defer close(done)
-			for r := range sub.Rankings() {
+			for rn := range sub.Notifications() {
+				r := rn.Ranking()
 				printRanking(r)
 			}
 			if n := sub.Dropped(); n > 0 {

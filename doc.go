@@ -25,7 +25,8 @@
 //	sub := engine.Subscribe(ctx,
 //		enblogue.SubProfile(&enblogue.Profile{Keywords: []string{"volcano"}}))
 //	go func() {
-//		for r := range sub.Rankings() {
+//		for n := range sub.Notifications() {
+//			r := n.Ranking()
 //			fmt.Println(r.At, r.IDs())
 //		}
 //	}()
@@ -35,8 +36,12 @@
 //
 // Delivery is push-based and non-blocking: each subscription owns a
 // bounded channel with drop-oldest semantics and a drop counter, so a slow
-// consumer always converges on the newest ranking and can never stall the
-// engine or its sibling subscribers.
+// consumer always converges on the newest state and can never stall the
+// engine or its sibling subscribers. Subscriptions may carry predicates —
+// WithTags, WithAllTags, WithMinScore, WithEmergenceOnly — compiled once
+// at Subscribe time and dispatched through an inverted tag index: a
+// predicated subscription is notified only on ticks where its filtered
+// view changed, and ticks that move none of its tags cost it nothing.
 //
 // One process can host many independent topic streams through a Hub of
 // named tenants — one per community, feed, language, or customer. Each

@@ -33,9 +33,13 @@ type (
 	// Profile is a user's standing preferences: continuous keyword
 	// queries, categories, boost, and the exclusive filter.
 	Profile = persona.Profile
-	// Subscription is a live per-subscriber ranking feed; see
+	// Subscription is a live per-subscriber notification feed; see
 	// Engine.Subscribe.
 	Subscription = core.Subscription
+	// Notification is one delivered tick as a subscription sees it: the
+	// matched topics plus the entered/left delta, with the full ranking
+	// view materialised lazily on first access.
+	Notification = core.Notification
 	// SubOption configures one subscription.
 	SubOption = core.SubOption
 	// Measure selects the pair correlation measure.
@@ -103,6 +107,27 @@ func SubTopK(k int) SubOption { return core.SubTopK(k) }
 // SubProfile attaches a persona: the subscriber receives its personalized
 // re-ranking of every tick instead of the broadcast ranking.
 func SubProfile(p *Profile) SubOption { return core.SubProfile(p) }
+
+// WithTags restricts the subscription to topics containing at least one of
+// the given tags (any-of). Predicates are compiled once at Subscribe time
+// into interned tag IDs and indexed invertedly, so ticks that do not move
+// a subscribed tag cost the subscription nothing; the subscriber is
+// notified only when its filtered view changes. Tags the stream has not
+// produced yet resolve automatically when they first appear.
+func WithTags(tags ...string) SubOption { return core.SubTags(tags...) }
+
+// WithAllTags restricts the subscription to topics containing every one of
+// the given tags (all-of). A topic is a tag pair, so more than two
+// all-tags can never match.
+func WithAllTags(tags ...string) SubOption { return core.SubAllTags(tags...) }
+
+// WithMinScore suppresses topics scoring below min (values <= 0 mean no
+// floor) and makes the subscription delta-driven.
+func WithMinScore(min float64) SubOption { return core.SubMinScore(min) }
+
+// WithEmergenceOnly delivers only topics newly entering the subscription's
+// filtered view, skipping ticks where nothing new emerged.
+func WithEmergenceOnly() SubOption { return core.SubEmergenceOnly() }
 
 // Engine is the public emergent-topic engine. It consumes (timestamp,
 // docId, tags, entities) tuples and emits ranked emergent topics at every
@@ -198,17 +223,29 @@ func (e *Engine) Tick(t time.Time) Ranking { return e.core.Tick(t) }
 // CurrentRanking returns a defensive copy of the most recent ranking.
 func (e *Engine) CurrentRanking() Ranking { return e.core.CurrentRanking() }
 
-// Subscribe registers a live ranking feed fed by non-blocking fan-out:
-// each tick's ranking — persona-reranked and top-k-trimmed per the options
-// — is delivered to the returned subscription's bounded channel, dropping
-// the oldest buffered frames for slow consumers (drops are counted).
-// Cancelling ctx closes the subscription.
+// Subscribe registers a live notification feed fed by non-blocking,
+// delta-driven fan-out: each tick's view — predicate-filtered,
+// persona-reranked, and top-k-trimmed per the options — is delivered to
+// the returned subscription's bounded channel, dropping the oldest
+// buffered notifications for slow consumers (drops are counted).
+// Predicated subscriptions (WithTags, WithAllTags, WithMinScore,
+// WithEmergenceOnly) are dispatched through an inverted tag index and
+// receive only ticks where their filtered view changed. Cancelling ctx
+// closes the subscription.
 func (e *Engine) Subscribe(ctx context.Context, opts ...SubOption) *Subscription {
 	return e.core.Subscribe(ctx, opts...)
 }
 
 // Subscribers returns the number of live subscriptions.
 func (e *Engine) Subscribers() int { return e.core.Subscribers() }
+
+// IndexedTags returns the number of distinct tags referenced by at least
+// one live subscription predicate.
+func (e *Engine) IndexedTags() int { return e.core.IndexedTags() }
+
+// MatchedLastTick returns how many subscriptions were handed a
+// notification on the most recently dispatched tick.
+func (e *Engine) MatchedLastTick() int64 { return e.core.MatchedLastTick() }
 
 // RankingsDropped returns the total rankings discarded across all
 // subscriptions because consumers fell behind.

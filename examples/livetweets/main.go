@@ -43,7 +43,8 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			for i, t := range r.Topics {
 				if t.Pair == target {
 					fmt.Printf("%s  %-16s rank %2d  score %.4f\n",

@@ -37,7 +37,8 @@ func collect(e *enblogue.Engine, items enblogue.Items) []enblogue.Ranking {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			out = append(out, r)
 		}
 	}()

@@ -44,7 +44,8 @@ func main() {
 	engine.Close()
 
 	firstSeen := map[enblogue.Key]time.Time{}
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		for i, t := range r.Topics {
 			if truth[t.Pair] {
 				if _, ok := firstSeen[t.Pair]; !ok {

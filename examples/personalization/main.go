@@ -64,7 +64,8 @@ func main() {
 	target := items[0].Time.Add(span/2 + span/8)
 	for i, u := range users {
 		var view enblogue.Ranking
-		for r := range subs[i].Rankings() {
+		for rn := range subs[i].Notifications() {
+			r := rn.Ranking()
 			if !r.At.After(target) {
 				view = r
 			}

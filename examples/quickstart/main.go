@@ -32,7 +32,8 @@ func main() {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			if len(r.Topics) > 0 {
 				fmt.Printf("%s  top: %s (score %.3f)\n",
 					r.At.Format(time.Kitchen), r.Topics[0].Pair, r.Topics[0].Score)

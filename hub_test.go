@@ -27,7 +27,8 @@ func runEngine(t *testing.T, e *enblogue.Engine, items enblogue.Items) []enblogu
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			out = append(out, r)
 		}
 	}()

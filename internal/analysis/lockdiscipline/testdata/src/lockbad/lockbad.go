@@ -56,3 +56,22 @@ func (t *T) ReenterViaCallee() {
 	t.Reenter() // want `call to Reenter acquires lock class "outer", which the caller already holds: self-deadlock`
 	t.mu.Unlock()
 }
+
+// B mirrors the broker/subscription-index hierarchy.
+type B struct {
+	//enblogue:lock broker 30
+	mu sync.Mutex
+	//enblogue:lock subidx 33
+	imu sync.Mutex
+}
+
+// SendWhileCollecting acquires the broker's subscription lock while still
+// holding the index lock: the inversion the dispatch path must never
+// commit (deliver collects under subidx, releases, then sends under
+// broker).
+func (b *B) SendWhileCollecting() {
+	b.imu.Lock()
+	b.mu.Lock() // want `lock order violation: acquiring "broker" \(order 30\) while holding "subidx" \(order 33\)`
+	b.mu.Unlock()
+	b.imu.Unlock()
+}

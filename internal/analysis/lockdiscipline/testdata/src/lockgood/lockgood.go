@@ -54,3 +54,42 @@ func (t *T) Spawn() {
 		t.mu.Unlock()
 	}()
 }
+
+// B mirrors the broker/subscription-index nesting introduced with the
+// inverted dispatch index: registration holds the broker's subscription
+// lock, then the index lock, in ascending order — while the dispatcher
+// takes the index lock (candidate collection) and the broker lock
+// (channel sends) as separate, non-overlapping acquisitions.
+type B struct {
+	//enblogue:lock broker 30
+	mu sync.Mutex
+	//enblogue:lock subidx 33
+	imu  sync.Mutex
+	subs int
+}
+
+// Register indexes a new subscription under both locks, ascending.
+//
+//enblogue:acquires broker
+//enblogue:acquires subidx
+func (b *B) Register() {
+	b.mu.Lock()
+	b.imu.Lock()
+	b.subs++
+	b.imu.Unlock()
+	b.mu.Unlock()
+}
+
+// Dispatch collects under the index lock, releases it, then sends under
+// the broker lock: descending class order is fine when the holds never
+// overlap.
+//
+//enblogue:acquires subidx
+//enblogue:acquires broker
+func (b *B) Dispatch() {
+	b.imu.Lock()
+	_ = b.subs
+	b.imu.Unlock()
+	b.mu.Lock()
+	b.mu.Unlock()
+}

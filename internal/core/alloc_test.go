@@ -151,3 +151,72 @@ func TestTickSteadyStateAllocs(t *testing.T) {
 		t.Errorf("tickLocked pass allocates %.1f, want bounded O(top-k)", avg)
 	}
 }
+
+// A dispatch whose ranking moves no subscribed tag must not allocate at
+// all, no matter how many predicated subscriptions are parked in the
+// index — the subscription-index contract that makes "millions of
+// standing queries" plausible.
+func TestDispatchUnmatchedZeroAllocs(t *testing.T) {
+	skipUnderRace(t)
+	cfg := testConfig()
+	e := New(cfg)
+	defer e.Close()
+	// 200 predicated subscriptions on tags that never appear in the
+	// published rankings (interned, so the pending path is not measured).
+	for i := 0; i < 200; i++ {
+		tag := fmt.Sprintf("cold-%d", i)
+		pairsMustIntern(tag)
+		e.Subscribe(nil, SubTags(tag), SubBuffer(1))
+	}
+	hot := mkRanking(t0, mkTopic("hot-a", "hot-b", 1.0), mkTopic("hot-c", "hot-d", 0.5))
+	// Warm the dispatcher scratch (prevView, moved-ID and candidate
+	// buffers, queue slot) and deliver the initial views.
+	for i := 0; i < 3; i++ {
+		hot.At = hot.At.Add(time.Hour)
+		hot.Topics[0].Score += 0.1
+		e.PublishRanking(hot)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		hot.At = hot.At.Add(time.Hour)
+		hot.Topics[0].Score += 0.1
+		e.PublishRanking(hot)
+	})
+	if avg > 0 {
+		t.Errorf("unmatched dispatch allocates %.2f per tick, want 0", avg)
+	}
+}
+
+// A matched predicated subscriber costs a small, bounded number of
+// allocations per delivered notification: the notification itself, the
+// owned payload copy, and the delta slices — never a full-ranking clone.
+func TestDispatchMatchedSubscriberAllocs(t *testing.T) {
+	skipUnderRace(t)
+	cfg := testConfig()
+	e := New(cfg)
+	defer e.Close()
+	pairsMustIntern("hot-a")
+	sub := e.Subscribe(nil, SubTags("hot-a"), SubBuffer(2))
+	r := mkRanking(t0, mkTopic("hot-a", "hot-b", 1.0), mkTopic("hot-c", "hot-d", 0.5))
+	for i := 0; i < 3; i++ {
+		r.At = r.At.Add(time.Hour)
+		r.Topics[0].Score += 0.1
+		e.PublishRanking(r)
+		drainNotifs(sub)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		r.At = r.At.Add(time.Hour)
+		r.Topics[0].Score += 0.1
+		e.PublishRanking(r)
+		drainNotifs(sub)
+	})
+	// Notification struct + owned one-topic payload ≈ 2; the bound leaves
+	// headroom for drain scratch while staying far below the old
+	// clone-per-subscriber regime (seeds + topics + persona maps).
+	if avg > 5 {
+		t.Errorf("matched dispatch allocates %.1f per tick, want ≤5", avg)
+	}
+}
+
+// pairsMustIntern forces a tag into the intern table the way ingest
+// would, so predicate compilation resolves it immediately.
+func pairsMustIntern(tag string) { _ = mkTopic(tag, "anchor", 0) }

@@ -13,42 +13,57 @@ import (
 // This file implements the engine's subscription broker: the paper's
 // "users register continuous keyword queries" model done at the API layer.
 // One shared ingest pipeline computes a single broadcast ranking per tick;
-// the broker fans each tick out to any number of subscribers, each of which
-// may carry its own persona profile and top-k, so every subscriber sees a
-// differently-ranked view of the same underlying topics.
+// the broker fans each tick out to subscribers, each of which may carry a
+// compiled predicate (tag sets, score floor, emergence-only), a persona
+// profile, and a top-k, so every subscriber sees its own view of the same
+// underlying topics.
+//
+// Dispatch is delta-driven, not broadcast-to-all. The dispatcher diffs
+// each tick's ranking against the previous one on (pair, score) identity,
+// then consults the subscription index (subindex.go) to find only the
+// subscriptions whose predicates reference a tag that moved — every other
+// predicated subscription costs nothing, not even a visit. Unpredicated
+// ("full") subscriptions still receive every tick, but now share one
+// read-only topic slice per tick instead of each paying for an eager deep
+// clone (see Notification); persona re-rank runs only for subscriptions
+// that are actually being delivered to.
 //
 // Delivery runs on a dedicated dispatcher goroutine, never under the
 // engine's tick/bookkeeping lock, and is non-blocking toward subscribers:
 // every subscription has a bounded channel with drop-oldest semantics for
 // slow consumers, and drops are counted per subscription. A slow subscriber
-// therefore always observes the newest rankings and can never stall the
-// engine, the dispatcher, or its sibling subscribers.
+// therefore always observes the newest notifications and can never stall
+// the engine, the dispatcher, or its sibling subscribers.
 
 // subConfig holds per-subscription settings assembled from SubOptions.
 type subConfig struct {
-	buffer  int
-	topK    int
-	profile *persona.Profile
+	buffer        int
+	topK          int
+	profile       *persona.Profile
+	anyTags       []string
+	allTags       []string
+	minScore      float64
+	emergenceOnly bool
 }
 
 // SubOption configures one subscription.
 type SubOption func(*subConfig)
 
 // SubBuffer sets the subscription's channel capacity (default 16, minimum
-// 1). When the buffer is full, the oldest undelivered ranking is dropped to
-// make room for the newest.
+// 1). When the buffer is full, the oldest undelivered notification is
+// dropped to make room for the newest.
 func SubBuffer(n int) SubOption {
 	return func(c *subConfig) { c.buffer = n }
 }
 
-// SubTopK trims every delivered ranking to its best k topics. Zero (the
-// default) delivers the engine's full ranking.
+// SubTopK trims every delivered view to its best k topics. Zero (the
+// default) delivers the full view.
 func SubTopK(k int) SubOption {
 	return func(c *subConfig) { c.topK = k }
 }
 
 // SubProfile attaches a persona to the subscription: every delivered
-// ranking is re-ranked by preference-weighted score exactly as
+// view is re-ranked by preference-weighted score exactly as
 // persona.Rerank would, so this subscriber sees "completely different or
 // just differently ordered emergent topics". The profile is copied; later
 // mutations by the caller have no effect.
@@ -65,71 +80,111 @@ func SubProfile(p *persona.Profile) SubOption {
 	}
 }
 
-// Subscription is one subscriber's live feed of rankings. Receive from
-// Rankings; the channel is closed when the subscription is closed (by
-// Close, context cancellation, or engine Close).
+// SubTags restricts the subscription to topics containing at least one of
+// the given tags (any-of). Repeated options accumulate. The predicate is
+// compiled once, at Subscribe time, into interned tag IDs; tags the stream
+// has not produced yet are parked and resolved automatically when they
+// first appear. A tagged subscription is delta-driven: it is notified only
+// on ticks where its filtered view actually changed.
+func SubTags(tags ...string) SubOption {
+	return func(c *subConfig) { c.anyTags = append(c.anyTags, tags...) }
+}
+
+// SubAllTags restricts the subscription to topics containing every one of
+// the given tags (all-of). A topic is a tag pair, so more than two
+// all-tags can never match. Repeated options accumulate.
+func SubAllTags(tags ...string) SubOption {
+	return func(c *subConfig) { c.allTags = append(c.allTags, tags...) }
+}
+
+// SubMinScore suppresses topics scoring below min. Values <= 0 mean no
+// floor. Like every predicate option it makes the subscription
+// delta-driven: unchanged filtered views are not re-delivered.
+func SubMinScore(min float64) SubOption {
+	return func(c *subConfig) { c.minScore = min }
+}
+
+// SubEmergenceOnly delivers only topics newly entering the subscription's
+// filtered view, and skips ticks where nothing new entered — the pure
+// "tell me when something emerges" standing query.
+func SubEmergenceOnly() SubOption {
+	return func(c *subConfig) { c.emergenceOnly = true }
+}
+
+// Subscription is one subscriber's live feed. Receive from Notifications;
+// the channel is closed when the subscription is closed (by Close, context
+// cancellation, or engine Close).
 type Subscription struct {
 	broker  *broker
 	id      uint64
 	cfg     subConfig
-	ch      chan Ranking
-	done    chan struct{}
+	m       *matcher // nil for full (unpredicated) subscriptions
+	ch      chan *Notification
+	done    chan struct{} // nil unless a context watcher needs it
 	once    sync.Once
 	dropped atomic.Int64
+
+	// indexed and touched are subscription-index bookkeeping, guarded by
+	// the index lock (see subIndex.mu).
+	indexed bool
+	touched uint64
+
+	// lastView is the (pair, score) image of the filtered view most
+	// recently evaluated for this subscription. Dispatcher-only.
+	lastView []topicMark
 }
 
-// Rankings returns the subscriber's channel. One ranking view is delivered
-// per evaluation tick, in tick order; when the consumer falls behind, the
-// oldest buffered views are discarded first (see Dropped).
-func (s *Subscription) Rankings() <-chan Ranking { return s.ch }
+// Notifications returns the subscriber's channel. One notification is
+// delivered per matching evaluation tick, in tick order; when the consumer
+// falls behind, the oldest buffered notifications are discarded first (see
+// Dropped). Full subscriptions match every tick; predicated ones only
+// ticks where their filtered view changed.
+func (s *Subscription) Notifications() <-chan *Notification { return s.ch }
 
-// Dropped returns the number of rankings discarded because this subscriber
-// consumed too slowly.
+// Dropped returns the number of notifications discarded because this
+// subscriber consumed too slowly.
 func (s *Subscription) Dropped() int64 { return s.dropped.Load() }
 
 // Close detaches the subscription and closes its channel. Idempotent and
 // safe to call concurrently with delivery.
 func (s *Subscription) Close() {
 	s.once.Do(func() {
-		close(s.done)
+		if s.done != nil {
+			close(s.done)
+		}
 		s.broker.remove(s)
 	})
 }
 
-// view renders the broadcast ranking as this subscription sees it: a
-// defensive copy, persona-reranked through persona.Rerank itself when a
-// non-empty profile is attached (so broker views and registry views can
-// never diverge), trimmed to the subscription's top-k. The full
-// shift.Topic diagnostics are preserved through the rerank.
-func (s *Subscription) view(r Ranking) Ranking {
-	out := Ranking{At: r.At, Seeds: append([]string(nil), r.Seeds...)}
-	p := s.cfg.profile
-	if p == nil || p.Empty() {
-		out.Topics = append([]shift.Topic(nil), r.Topics...)
-	} else {
-		ptopics := make([]persona.Topic, len(r.Topics))
-		byPair := make(map[pairs.Key]shift.Topic, len(r.Topics))
-		for i, t := range r.Topics {
-			ptopics[i] = persona.Topic{Pair: t.Pair, Score: t.Score}
-			byPair[t.Pair] = t
-		}
-		reranked := persona.Rerank(ptopics, p)
-		topics := make([]shift.Topic, len(reranked))
-		for i, pt := range reranked {
-			t := byPair[pt.Pair]
-			t.Score = pt.Score
-			topics[i] = t
-		}
-		out.Topics = topics
+// personaTopics renders topics re-ranked through persona.Rerank (so broker
+// views and registry views can never diverge), preserving the full
+// shift.Topic diagnostics. The returned slice is freshly allocated.
+func personaTopics(topics []shift.Topic, p *persona.Profile) []shift.Topic {
+	ptopics := make([]persona.Topic, len(topics))
+	byPair := make(map[pairs.Key]shift.Topic, len(topics))
+	for i, t := range topics {
+		ptopics[i] = persona.Topic{Pair: t.Pair, Score: t.Score}
+		byPair[t.Pair] = t
 	}
-	if k := s.cfg.topK; k > 0 && len(out.Topics) > k {
-		out.Topics = out.Topics[:k]
+	reranked := persona.Rerank(ptopics, p)
+	out := make([]shift.Topic, len(reranked))
+	for i, pt := range reranked {
+		t := byPair[pt.Pair]
+		t.Score = pt.Score
+		out[i] = t
 	}
 	return out
 }
 
+// deliverySlot pairs a subscription with the notification built for it
+// this tick; the slice of slots is dispatcher scratch.
+type deliverySlot struct {
+	s *Subscription
+	n *Notification
+}
+
 // broker fans published rankings out to subscriptions from its own
-// dispatcher goroutine.
+// dispatcher goroutine, through the subscription index.
 type broker struct {
 	// mu guards subs, closed, nextID; held during channel sends.
 	//
@@ -139,11 +194,30 @@ type broker struct {
 	closed bool
 	nextID uint64
 
+	// idx is the inverted subscription index (its lock class nests inside
+	// mu: registration/removal hold mu, then idx.mu).
+	idx *subIndex
+
 	// nsubs mirrors len(subs) so publish — which runs under the engine's
 	// tick lock — can check for listeners without contending on mu against
 	// an in-flight delivery.
 	nsubs        atomic.Int64
 	droppedTotal atomic.Int64
+	// matchedLast counts notifications built on the most recent dispatch.
+	matchedLast atomic.Int64
+
+	// Dispatcher-only state: the previous tick's (pair, score) image and
+	// reusable scratch, so a steady-state tick whose ranking did not move
+	// any subscribed tag allocates nothing.
+	seq         uint64
+	prevView    []topicMark
+	movedIDs    []uint32
+	tickEntered []pairs.Key
+	tickLeft    []pairs.Key
+	candBuf     []*Subscription
+	fullBuf     []*Subscription
+	slotBuf     []deliverySlot
+	viewBuf     []shift.Topic
 
 	// qmu guards the dispatch queue. It is never held together with mu:
 	// the dispatcher drains the queue under qmu, then delivers under mu.
@@ -159,15 +233,16 @@ type broker struct {
 }
 
 func newBroker() *broker {
-	b := &broker{subs: make(map[uint64]*Subscription)}
+	b := &broker{subs: make(map[uint64]*Subscription), idx: newSubIndex()}
 	b.qcond = sync.NewCond(&b.qmu)
 	return b
 }
 
-// subscribe registers a new subscription. A nil context is treated as
+// subscribe registers a new subscription, compiling its predicate options
+// (if any) into a matcher and indexing it. A nil context is treated as
 // context.Background(); otherwise cancelling the context closes the
-// subscription. Subscribing to a closed broker returns an
-// already-closed subscription.
+// subscription. Subscribing to a closed broker returns an already-closed
+// subscription.
 func (b *broker) subscribe(ctx context.Context, opts ...SubOption) *Subscription {
 	cfg := subConfig{buffer: 16}
 	for _, o := range opts {
@@ -181,22 +256,33 @@ func (b *broker) subscribe(ctx context.Context, opts ...SubOption) *Subscription
 	s := &Subscription{
 		broker: b,
 		cfg:    cfg,
-		ch:     make(chan Ranking, cfg.buffer),
-		done:   make(chan struct{}),
+		m:      compileMatcher(&cfg),
+		ch:     make(chan *Notification, cfg.buffer),
+	}
+	watched := ctx != nil && ctx.Done() != nil
+	if watched {
+		s.done = make(chan struct{})
 	}
 	b.mu.Lock()
 	b.nextID++
 	s.id = b.nextID
 	if b.closed {
 		b.mu.Unlock()
-		s.once.Do(func() { close(s.done) })
+		s.once.Do(func() {
+			if s.done != nil {
+				close(s.done)
+			}
+		})
 		close(s.ch)
 		return s
 	}
 	b.subs[s.id] = s
 	b.nsubs.Store(int64(len(b.subs)))
+	// Index while still holding mu so a dispatch between map insert and
+	// index registration cannot observe a half-registered subscription.
+	b.idx.add(s)
 	b.mu.Unlock()
-	if ctx != nil && ctx.Done() != nil {
+	if watched {
 		go func() {
 			select {
 			case <-ctx.Done():
@@ -218,6 +304,7 @@ func (b *broker) remove(s *Subscription) {
 	if _, ok := b.subs[s.id]; ok {
 		delete(b.subs, s.id)
 		b.nsubs.Store(int64(len(b.subs)))
+		b.idx.remove(s)
 		close(s.ch)
 	}
 	b.mu.Unlock()
@@ -231,6 +318,14 @@ func (b *broker) subscribers() int {
 	defer b.mu.Unlock()
 	return len(b.subs)
 }
+
+// indexedTags returns the number of distinct interned tags referenced by
+// at least one live predicate.
+func (b *broker) indexedTags() int { return b.idx.tagCount() }
+
+// matchedLastTick returns how many subscriptions were handed a
+// notification on the most recent dispatch.
+func (b *broker) matchedLastTick() int64 { return b.matchedLast.Load() }
 
 // publish enqueues a ranking for dispatch. Called with the engine's tick
 // lock held, so it must never block on consumers: it only appends to the
@@ -272,7 +367,12 @@ func (b *broker) dispatch() {
 			return
 		}
 		r := b.queue[0]
-		b.queue = b.queue[1:]
+		// Pop by copy-down so the queue's backing array (and its start
+		// offset) is preserved: the common one-entry case re-appends into
+		// the same slot forever instead of reallocating every tick.
+		copy(b.queue, b.queue[1:])
+		b.queue[len(b.queue)-1] = Ranking{}
+		b.queue = b.queue[:len(b.queue)-1]
 		b.qmu.Unlock()
 
 		b.deliver(r)
@@ -284,40 +384,115 @@ func (b *broker) dispatch() {
 	}
 }
 
-// deliver sends one ranking to every subscription, non-blocking with
-// drop-oldest: a full buffer sheds its oldest view so the subscriber
-// always converges on the newest state. The per-subscriber rerank runs
-// outside b.mu — only the non-blocking sends hold the lock (channel close
-// in remove/close is safe exactly because sends happen under b.mu), so a
-// large fan-out never blocks Subscribe/Close for the rerank's duration.
-func (b *broker) deliver(r Ranking) {
-	b.mu.Lock()
-	subs := make([]*Subscription, 0, len(b.subs))
-	//enblogue:unordered collects the subscriber set; each subscription receives on its own channel, so delivery order between subscribers is immaterial and no ranking state is touched
-	for _, s := range b.subs {
-		subs = append(subs, s)
-	}
-	b.mu.Unlock()
-
-	views := make([]Ranking, len(subs))
-	for i, s := range subs {
-		views[i] = s.view(r)
-	}
-
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	for i, s := range subs {
-		if _, ok := b.subs[s.id]; !ok {
-			continue // closed while the views were being built
+// diffRanking computes the tick-level delta between topics and the
+// previously dispatched ranking on (pair, score) identity, filling the
+// broker's movedIDs/tickEntered/tickLeft scratch. Diagnostics like the
+// evaluation timestamp change every tick by construction and do not
+// participate. Reports whether anything moved at all. Dispatcher-only.
+func (b *broker) diffRanking(topics []shift.Topic) bool {
+	b.movedIDs = b.movedIDs[:0]
+	b.tickEntered = b.tickEntered[:0]
+	b.tickLeft = b.tickLeft[:0]
+	changed := false
+	for i := range topics {
+		t := &topics[i]
+		prev, ok := markScore(b.prevView, t.Pair)
+		if ok && prev == t.Score {
+			continue
 		}
-		v := views[i]
+		if !ok {
+			b.tickEntered = append(b.tickEntered, t.Pair)
+		}
+		changed = true
+		b.addMoved(t.Pair)
+	}
+	for _, m := range b.prevView {
+		if !topicsContain(topics, m.key) {
+			b.tickLeft = append(b.tickLeft, m.key)
+			changed = true
+			b.addMoved(m.key)
+		}
+	}
+	return changed
+}
+
+func (b *broker) addMoved(k pairs.Key) {
+	a, c := k.IDs()
+	if !containsID(b.movedIDs, a) {
+		b.movedIDs = append(b.movedIDs, a)
+	}
+	if !containsID(b.movedIDs, c) {
+		b.movedIDs = append(b.movedIDs, c)
+	}
+}
+
+func topicsContain(topics []shift.Topic, k pairs.Key) bool {
+	for i := range topics {
+		if topics[i].Pair == k {
+			return true
+		}
+	}
+	return false
+}
+
+func keysContain(keys []pairs.Key, k pairs.Key) bool {
+	for _, v := range keys {
+		if v == k {
+			return true
+		}
+	}
+	return false
+}
+
+// deliver dispatches one ranking: diff against the previous tick, collect
+// only the touched predicated subscriptions from the index, build
+// notifications outside every lock, then send non-blocking with
+// drop-oldest under b.mu (channel close in remove/close is safe exactly
+// because sends happen under b.mu). A tick that moves no subscribed tag
+// and has no full subscribers completes without allocating.
+func (b *broker) deliver(r Ranking) {
+	b.seq++
+	changed := b.diffRanking(r.Topics)
+	b.candBuf = b.idx.collect(b.movedIDs, changed, b.seq, b.candBuf[:0])
+	b.fullBuf = b.idx.fullInto(b.fullBuf[:0])
+
+	slots := b.slotBuf[:0]
+	// Full subscriptions share one pair of tick-delta slices; materialised
+	// lazily so a predicate-only population never copies the scratch.
+	var entered, left []pairs.Key
+	if len(b.fullBuf) > 0 {
+		if len(b.tickEntered) > 0 {
+			entered = append([]pairs.Key(nil), b.tickEntered...)
+		}
+		if len(b.tickLeft) > 0 {
+			left = append([]pairs.Key(nil), b.tickLeft...)
+		}
+	}
+	for _, s := range b.fullBuf {
+		slots = append(slots, deliverySlot{s: s, n: s.fullNotification(&r, entered, left)})
+	}
+	for _, s := range b.candBuf {
+		if n := b.filteredNotification(s, &r); n != nil {
+			slots = append(slots, deliverySlot{s: s, n: n})
+		}
+	}
+	b.matchedLast.Store(int64(len(slots)))
+
+	b.mu.Lock()
+	for i := range slots {
+		s := slots[i].s
+		if _, ok := b.subs[s.id]; !ok {
+			continue // closed while the notifications were being built
+		}
+		n := slots[i].n
 		select {
-		case s.ch <- v:
+		case s.ch <- n:
 			continue
 		default:
 		}
-		// Buffer full: drop the oldest buffered view. The consumer may
-		// concurrently drain the channel, so both steps stay non-blocking.
+		// Buffer full: drop the oldest buffered notification. The consumer
+		// may concurrently drain the channel, so both steps stay
+		// non-blocking.
 		select {
 		case <-s.ch:
 			s.dropped.Add(1)
@@ -325,12 +500,96 @@ func (b *broker) deliver(r Ranking) {
 		default:
 		}
 		select {
-		case s.ch <- v:
+		case s.ch <- n:
 		default:
 			s.dropped.Add(1)
 			b.droppedTotal.Add(1)
 		}
 	}
+	b.mu.Unlock()
+
+	b.prevView = appendMarks(b.prevView[:0], r.Topics)
+	clear(slots)
+	b.slotBuf = slots
+}
+
+// fullNotification builds an unpredicated subscription's notification:
+// the shared broadcast topics (persona-reranked into an owned slice only
+// when a non-empty profile is attached), trimmed to top-k, carrying the
+// tick-level delta.
+func (s *Subscription) fullNotification(r *Ranking, entered, left []pairs.Key) *Notification {
+	topics := r.Topics
+	owned := false
+	if p := s.cfg.profile; p != nil && !p.Empty() {
+		topics = personaTopics(topics, p)
+		owned = true
+	}
+	if k := s.cfg.topK; k > 0 && len(topics) > k {
+		topics = topics[:k]
+	}
+	return &Notification{at: r.At, seeds: r.Seeds, topics: topics, owned: owned, entered: entered, left: left}
+}
+
+// filteredNotification evaluates one predicated candidate against the
+// tick: filter through the compiled matcher, persona-rerank if a profile
+// is attached, trim to top-k, then compare the resulting view to the one
+// this subscription last saw on (pair, score) identity. An unchanged view
+// returns nil without allocating — the subscriber has already seen it.
+// Under emergence-only, a changed view with no new entrants also returns
+// nil, and a delivered payload carries only the entrants.
+func (b *broker) filteredNotification(s *Subscription, r *Ranking) *Notification {
+	m := s.m
+	view := b.viewBuf[:0]
+	for i := range r.Topics {
+		if m.matches(&r.Topics[i]) {
+			view = append(view, r.Topics[i])
+		}
+	}
+	b.viewBuf = view // retain grown capacity for the next candidate
+	viewOwned := false
+	if p := s.cfg.profile; p != nil && !p.Empty() && len(view) > 0 {
+		view = personaTopics(view, p)
+		viewOwned = true
+	}
+	if k := s.cfg.topK; k > 0 && len(view) > k {
+		view = view[:k]
+	}
+	if marksEqual(s.lastView, view) {
+		return nil
+	}
+	var entered, left []pairs.Key
+	for i := range view {
+		if _, ok := markScore(s.lastView, view[i].Pair); !ok {
+			entered = append(entered, view[i].Pair)
+		}
+	}
+	for _, mk := range s.lastView {
+		if !topicsContain(view, mk.key) {
+			left = append(left, mk.key)
+		}
+	}
+	if m.emergenceOnly && len(entered) == 0 {
+		// The view changed (scores moved or topics fell out) but nothing
+		// emerged: remember the new view, deliver nothing.
+		s.lastView = appendMarks(s.lastView[:0], view)
+		return nil
+	}
+	var payload []shift.Topic
+	switch {
+	case m.emergenceOnly:
+		payload = make([]shift.Topic, 0, len(entered))
+		for i := range view {
+			if keysContain(entered, view[i].Pair) {
+				payload = append(payload, view[i])
+			}
+		}
+	case viewOwned:
+		payload = view
+	default:
+		payload = append([]shift.Topic(nil), view...)
+	}
+	s.lastView = appendMarks(s.lastView[:0], view)
+	return &Notification{at: r.At, seeds: r.Seeds, topics: payload, owned: true, entered: entered, left: left}
 }
 
 // wait blocks until every ranking published before the call has been fully
@@ -366,12 +625,17 @@ func (b *broker) close() {
 		detached = append(detached, s)
 	}
 	b.nsubs.Store(0)
+	b.idx.reset()
 	b.mu.Unlock()
 	// Fire each subscription's once outside b.mu: a concurrent
 	// Subscription.Close owns the once while waiting for b.mu in remove, so
 	// running it under the lock could deadlock. remove itself is safe — the
 	// map entry is already gone, so the channel is never closed twice.
 	for _, s := range detached {
-		s.once.Do(func() { close(s.done) })
+		s.once.Do(func() {
+			if s.done != nil {
+				close(s.done)
+			}
+		})
 	}
 }

@@ -45,7 +45,8 @@ func TestBrokerBroadcastMatchesCurrentRanking(t *testing.T) {
 		e.Close()
 
 		var got []Ranking
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			got = append(got, r)
 		}
 		if len(got) == 0 {
@@ -91,7 +92,8 @@ func TestBrokerManyConcurrentSubscribersDuringIngest(t *testing.T) {
 		wg.Add(1)
 		go func(i int, sub *Subscription) {
 			defer wg.Done()
-			for r := range sub.Rankings() {
+			for rn := range sub.Notifications() {
+				r := rn.Ranking()
 				received[i]++
 				for j := 1; j < len(r.Topics); j++ {
 					if r.Topics[j].Score > r.Topics[j-1].Score {
@@ -146,7 +148,8 @@ func TestBrokerSlowSubscriberDropsOldest(t *testing.T) {
 	e.Close()
 
 	var got []Ranking
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		got = append(got, r)
 	}
 	if len(got) != 2 {
@@ -186,7 +189,7 @@ func TestBrokerContextCancellation(t *testing.T) {
 	deadline := time.After(5 * time.Second)
 	for {
 		select {
-		case _, ok := <-sub.Rankings():
+		case _, ok := <-sub.Notifications():
 			if !ok {
 				if e.Subscribers() != 0 {
 					t.Errorf("Subscribers = %d after cancel", e.Subscribers())
@@ -210,7 +213,8 @@ func TestBrokerPersonaViewMatchesRegistryRerank(t *testing.T) {
 
 	var last Ranking
 	n := 0
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		last = r
 		n++
 	}
@@ -255,7 +259,8 @@ func TestSubscriberMayReenterEngine(t *testing.T) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			// Previously: deadlock (tick lock held). Now: consumer side.
 			e.CurrentRanking()
 			e.Seeds()
@@ -307,7 +312,8 @@ func TestRankingAccessorsReturnDefensiveCopies(t *testing.T) {
 
 	// Subscriber frames are independent copies too.
 	var last Ranking
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		last = r
 	}
 	last.Topics[0].Score = -2
@@ -326,7 +332,7 @@ func TestBrokerCloseIdempotentAndLateSubscribe(t *testing.T) {
 
 	sub := e.Subscribe(context.Background())
 	select {
-	case _, ok := <-sub.Rankings():
+	case _, ok := <-sub.Notifications():
 		if ok {
 			t.Fatal("late subscription received a ranking from a closed broker")
 		}

@@ -319,15 +319,19 @@ func (e *Engine) Seeds() []string {
 	return append([]string(nil), e.seeds.Seeds()...)
 }
 
-// Subscribe registers a live ranking feed: every evaluation tick's ranking
-// is delivered to the returned subscription's channel from the engine's
+// Subscribe registers a live notification feed: evaluation ticks are
+// delivered to the returned subscription's channel from the engine's
 // dispatcher goroutine, outside all engine locks, so consumers may call
 // back into the engine freely. Options attach a persona profile (the
-// subscriber then receives its personalized re-ranking), trim to a
-// per-subscriber top-k, and size the bounded buffer; slow consumers lose
-// the oldest buffered rankings first (counted on the subscription), never
-// stalling the engine or other subscribers. Cancelling ctx closes the
-// subscription; a nil ctx subscribes until Close. Safe for concurrent use.
+// subscriber then receives its personalized re-ranking), a compiled
+// predicate (SubTags/SubAllTags/SubMinScore/SubEmergenceOnly — the
+// subscription then receives only ticks where its filtered view changed,
+// found through the broker's inverted tag index rather than broadcast),
+// trim to a per-subscriber top-k, and size the bounded buffer; slow
+// consumers lose the oldest buffered notifications first (counted on the
+// subscription), never stalling the engine or other subscribers.
+// Cancelling ctx closes the subscription; a nil ctx subscribes until
+// Close. Safe for concurrent use.
 func (e *Engine) Subscribe(ctx context.Context, opts ...SubOption) *Subscription {
 	return e.broker.subscribe(ctx, opts...)
 }
@@ -335,9 +339,30 @@ func (e *Engine) Subscribe(ctx context.Context, opts ...SubOption) *Subscription
 // Subscribers returns the number of live broker subscriptions.
 func (e *Engine) Subscribers() int { return e.broker.subscribers() }
 
+// IndexedTags returns the number of distinct interned tags referenced by
+// at least one live subscription predicate — the breadth of the broker's
+// inverted dispatch index.
+func (e *Engine) IndexedTags() int { return e.broker.indexedTags() }
+
+// MatchedLastTick returns how many subscriptions were handed a
+// notification on the most recently dispatched tick.
+func (e *Engine) MatchedLastTick() int64 { return e.broker.matchedLastTick() }
+
 // RankingsDropped returns the total number of ranking deliveries discarded
 // across all subscriptions because consumers fell behind.
 func (e *Engine) RankingsDropped() int64 { return e.broker.droppedTotal.Load() }
+
+// PublishRanking hands a pre-built ranking straight to the broker and
+// waits for dispatch to complete. It bypasses ingest and tick evaluation
+// entirely — the ranking is NOT recorded as engine state (CurrentRanking
+// is unaffected) — and exists for benchmarks and replay tooling that need
+// to drive the subscription-dispatch path with synthetic ticks. Must not
+// be called from a subscription consumer (the dispatcher cannot drain
+// itself).
+func (e *Engine) PublishRanking(r Ranking) {
+	e.broker.publish(r)
+	e.broker.wait()
+}
 
 // Close shuts the ingest queue (if started) and the broker down: the queue
 // stops accepting items, its drainer consumes whatever is already queued

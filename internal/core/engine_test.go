@@ -33,7 +33,8 @@ func recordRankings(e *Engine) func() []Ranking {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			got = append(got, r)
 		}
 	}()

@@ -107,7 +107,7 @@ func TestHubCloseTenantAndClose(t *testing.T) {
 	}
 	// The tenant's broker is closed: its subscription channel ends.
 	select {
-	case _, ok := <-sub.Rankings():
+	case _, ok := <-sub.Notifications():
 		if ok {
 			t.Error("subscription delivered after CloseTenant")
 		}

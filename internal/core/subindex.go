@@ -1,0 +1,470 @@
+package core
+
+// This file implements the broker's subscription index: the data structures
+// that turn per-tick fan-out from O(subscribers) into O(subscribers whose
+// predicates reference a tag that actually moved).
+//
+// Each predicated subscription compiles its options once, at Subscribe
+// time, into a flat matcher struct over interned uint32 tag IDs — the
+// compile-once/evaluate-cheap shape of a plan cache for standing queries.
+// The matchers are indexed invertedly: tag ID → posting set of interested
+// subscriptions, plus a wildcard set for predicates with no tag constraint
+// (min-score or emergence-only alone) and a full set for unpredicated
+// subscriptions. A tick's dispatch then diffs the new ranking against the
+// previous one, looks up only the moved tags' postings, and leaves every
+// other predicated subscription untouched — zero work, zero allocations.
+//
+// Tag IDs are resolved through intern.Find, never intern.Intern: ID
+// assignment stays an ingest-path-only event (the property DESIGN.md §6
+// relies on), so a subscription naming a tag the stream has not produced
+// yet parks the tag in a pending set. Pending tags are re-resolved at
+// dispatch time, and only when the intern table has actually grown since
+// the last attempt — a subscription to a tag that never appears costs one
+// table-length check per tick, not a lookup.
+
+import (
+	"sync"
+
+	"enblogue/internal/intern"
+	"enblogue/internal/pairs"
+	"enblogue/internal/shift"
+)
+
+// matcher is one subscription's compiled predicate: tag constraints as
+// interned IDs, the score floor, and the emergence-only flag. It is built
+// once at Subscribe time and never reallocated; the only post-compile
+// mutation is pending-tag resolution, performed under the index lock and
+// only ever by the dispatcher.
+type matcher struct {
+	// any matches topics containing at least one of these tag IDs.
+	any []uint32
+	// all matches only topics containing every one of these tag IDs (a
+	// topic is a pair, so more than two all-tags can never match).
+	all []uint32
+	// pendingAny/pendingAll hold predicate tags the stream has not
+	// interned yet. They cannot match anything until resolved — a tag
+	// with no ID has never been part of a candidate pair.
+	pendingAny []string
+	pendingAll []string
+	// minScore suppresses topics scoring below it (0 = no floor).
+	minScore float64
+	// emergenceOnly delivers only topics newly entering the filtered
+	// view, and skips ticks where nothing new entered.
+	emergenceOnly bool
+}
+
+// compileMatcher builds the flat matcher for a subscription's predicate
+// options, or returns nil when the subscription carries no predicate at
+// all (a full subscription: every tick, whole ranking).
+func compileMatcher(cfg *subConfig) *matcher {
+	if len(cfg.anyTags) == 0 && len(cfg.allTags) == 0 &&
+		cfg.minScore <= 0 && !cfg.emergenceOnly {
+		return nil
+	}
+	m := &matcher{emergenceOnly: cfg.emergenceOnly}
+	if cfg.minScore > 0 {
+		m.minScore = cfg.minScore
+	}
+	m.any, m.pendingAny = resolveTags(cfg.anyTags)
+	m.all, m.pendingAll = resolveTags(cfg.allTags)
+	return m
+}
+
+// resolveTags splits a deduplicated tag list into already-interned IDs and
+// pending strings, through intern.Find only — compiling a predicate must
+// never assign IDs (see the package comment above).
+func resolveTags(tags []string) (ids []uint32, pending []string) {
+	for i, tag := range tags {
+		if tag == "" || containsString(tags[:i], tag) {
+			continue
+		}
+		if id, ok := intern.Find(tag); ok {
+			ids = append(ids, id)
+		} else {
+			pending = append(pending, tag)
+		}
+	}
+	return ids, pending
+}
+
+func containsString(list []string, s string) bool {
+	for _, v := range list {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+func containsID(list []uint32, id uint32) bool {
+	for _, v := range list {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// tagged reports whether the matcher has any tag constraint, resolved or
+// pending. Untagged matchers live in the index's wildcard set.
+func (m *matcher) tagged() bool {
+	return len(m.any)+len(m.all)+len(m.pendingAny)+len(m.pendingAll) > 0
+}
+
+// matches evaluates the compiled predicate against one topic. It is
+// allocation-free: two ID extractions and a few linear scans over tiny
+// slices.
+func (m *matcher) matches(t *shift.Topic) bool {
+	if t.Score < m.minScore {
+		return false
+	}
+	if len(m.pendingAll) > 0 {
+		// A required tag was never interned, so no pair can contain it.
+		return false
+	}
+	a, b := t.Pair.IDs()
+	for _, id := range m.all {
+		if id != a && id != b {
+			return false
+		}
+	}
+	if len(m.any)+len(m.pendingAny) > 0 {
+		ok := false
+		for _, id := range m.any {
+			if id == a || id == b {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve migrates tag from the matcher's pending sets to its ID sets.
+// Reports whether the matcher referenced the tag at all. Called only under
+// the index lock.
+func (m *matcher) resolve(tag string, id uint32) bool {
+	found := false
+	if i := indexOfString(m.pendingAny, tag); i >= 0 {
+		m.pendingAny = append(m.pendingAny[:i], m.pendingAny[i+1:]...)
+		if !containsID(m.any, id) {
+			m.any = append(m.any, id)
+		}
+		found = true
+	}
+	if i := indexOfString(m.pendingAll, tag); i >= 0 {
+		m.pendingAll = append(m.pendingAll[:i], m.pendingAll[i+1:]...)
+		if !containsID(m.all, id) {
+			m.all = append(m.all, id)
+		}
+		found = true
+	}
+	return found
+}
+
+func indexOfString(list []string, s string) int {
+	for i, v := range list {
+		if v == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// topicMark is the identity dispatch uses to decide whether a topic
+// "moved" between ticks: the pair plus its score. Diagnostics
+// (correlation, the evaluation timestamp) change every tick by
+// construction and deliberately do not participate — a topic whose pair
+// and score are both unchanged is the same topic, and a subscriber whose
+// view consists only of such topics has seen everything already.
+type topicMark struct {
+	key   pairs.Key
+	score float64
+}
+
+// appendMarks renders topics into dst as (pair, score) marks, reusing
+// dst's capacity.
+func appendMarks(dst []topicMark, topics []shift.Topic) []topicMark {
+	for i := range topics {
+		dst = append(dst, topicMark{key: topics[i].Pair, score: topics[i].Score})
+	}
+	return dst
+}
+
+// marksEqual reports whether topics renders to exactly marks, in order.
+func marksEqual(marks []topicMark, topics []shift.Topic) bool {
+	if len(marks) != len(topics) {
+		return false
+	}
+	for i := range topics {
+		if marks[i].key != topics[i].Pair || marks[i].score != topics[i].Score {
+			return false
+		}
+	}
+	return true
+}
+
+// markScore returns the score recorded for key in marks, if present.
+func markScore(marks []topicMark, key pairs.Key) (float64, bool) {
+	for _, m := range marks {
+		if m.key == key {
+			return m.score, true
+		}
+	}
+	return 0, false
+}
+
+// subIndex is the inverted subscription index. It is guarded by its own
+// lock class, nested inside the broker's subscription lock (Subscribe and
+// Close register/deregister while holding broker.mu) and outside the
+// interner's (pending resolution calls intern.Find).
+type subIndex struct {
+	// mu guards every field below, plus each indexed subscription's
+	// touched/indexed fields and (for pending resolution) its matcher.
+	//
+	//enblogue:lock subidx 33
+	mu sync.Mutex
+
+	// byTag maps an interned tag ID to the set of subscriptions whose
+	// predicates reference it, keyed by subscription ID for O(1) removal.
+	byTag map[uint32]map[uint64]*Subscription
+	// wildcard holds predicated subscriptions with no tag constraint
+	// (min-score and/or emergence-only alone): they are candidates on any
+	// tick whose ranking changed at all.
+	wildcard map[uint64]*Subscription
+	// full holds unpredicated subscriptions: every tick, whole ranking.
+	full map[uint64]*Subscription
+	// pending maps not-yet-interned predicate tags to the subscriptions
+	// waiting on them.
+	pending map[string][]*Subscription
+	// fresh holds predicated subscriptions that have not been through a
+	// dispatch yet: their first tick force-evaluates them even if nothing
+	// moved, so a subscriber to an already-stable tag still receives its
+	// initial view.
+	fresh []*Subscription
+	// internLen is the intern-table length pending was last resolved
+	// against; resolution is skipped while the table has not grown.
+	internLen int
+}
+
+func newSubIndex() *subIndex {
+	return &subIndex{
+		byTag:    make(map[uint32]map[uint64]*Subscription),
+		wildcard: make(map[uint64]*Subscription),
+		full:     make(map[uint64]*Subscription),
+		pending:  make(map[string][]*Subscription),
+	}
+}
+
+// add registers a subscription under every tag its compiled matcher
+// references (or the wildcard/full sets). Called with broker.mu held.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) add(s *Subscription) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	s.indexed = true
+	m := s.m
+	if m == nil {
+		ix.full[s.id] = s
+		return
+	}
+	if !m.tagged() {
+		ix.wildcard[s.id] = s
+	}
+	for _, id := range m.any {
+		ix.addPosting(id, s)
+	}
+	for _, id := range m.all {
+		ix.addPosting(id, s)
+	}
+	for _, tag := range m.pendingAny {
+		ix.pending[tag] = append(ix.pending[tag], s)
+	}
+	for _, tag := range m.pendingAll {
+		if !containsString(m.pendingAny, tag) {
+			ix.pending[tag] = append(ix.pending[tag], s)
+		}
+	}
+	if len(m.pendingAny)+len(m.pendingAll) > 0 {
+		// Force the next resolution pass: the tag may have been interned
+		// between matcher compilation and this registration, in which case
+		// the table-length short-circuit would otherwise skip it forever.
+		ix.internLen = -1
+	}
+	ix.fresh = append(ix.fresh, s)
+}
+
+func (ix *subIndex) addPosting(id uint32, s *Subscription) {
+	posting := ix.byTag[id]
+	if posting == nil {
+		posting = make(map[uint64]*Subscription)
+		ix.byTag[id] = posting
+	}
+	posting[s.id] = s
+}
+
+// remove deregisters a subscription from every structure referencing it.
+// Called with broker.mu held; idempotent.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) remove(s *Subscription) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !s.indexed {
+		return
+	}
+	s.indexed = false
+	m := s.m
+	if m == nil {
+		delete(ix.full, s.id)
+		return
+	}
+	delete(ix.wildcard, s.id)
+	for _, id := range m.any {
+		ix.dropPosting(id, s)
+	}
+	for _, id := range m.all {
+		ix.dropPosting(id, s)
+	}
+	for _, tag := range m.pendingAny {
+		ix.dropPending(tag, s)
+	}
+	for _, tag := range m.pendingAll {
+		ix.dropPending(tag, s)
+	}
+}
+
+func (ix *subIndex) dropPosting(id uint32, s *Subscription) {
+	if posting := ix.byTag[id]; posting != nil {
+		delete(posting, s.id)
+		if len(posting) == 0 {
+			delete(ix.byTag, id)
+		}
+	}
+}
+
+func (ix *subIndex) dropPending(tag string, s *Subscription) {
+	list := ix.pending[tag]
+	for i, v := range list {
+		if v == s {
+			list[i] = list[len(list)-1]
+			list[len(list)-1] = nil
+			ix.pending[tag] = list[:len(list)-1]
+			break
+		}
+	}
+	if len(ix.pending[tag]) == 0 {
+		delete(ix.pending, tag)
+	}
+}
+
+// resolveLocked re-resolves pending predicate tags against the intern
+// table, migrating hits into posting lists. Skipped entirely while the
+// table has not grown since the last attempt.
+//
+//enblogue:requires subidx
+func (ix *subIndex) resolveLocked() {
+	if len(ix.pending) == 0 {
+		return
+	}
+	n := intern.Tags.Len()
+	if n == ix.internLen {
+		return
+	}
+	ix.internLen = n
+	//enblogue:unordered pending-tag resolution: each tag migrates independently into its own posting list, so resolution order between distinct tags is immaterial
+	for tag, subs := range ix.pending {
+		id, ok := intern.Find(tag)
+		if !ok {
+			continue
+		}
+		for _, s := range subs {
+			if s.m.resolve(tag, id) && s.indexed {
+				ix.addPosting(id, s)
+			}
+		}
+		delete(ix.pending, tag)
+	}
+}
+
+// collect appends the tick's candidate predicated subscriptions to buf:
+// every fresh subscription, plus — when the ranking changed at all — the
+// wildcard set and the posting list of every moved tag. Deduplication is
+// by stamping each subscription's touched field with the dispatch
+// sequence, so a subscription indexed under several moved tags is
+// evaluated once. Untouched subscriptions are never visited at all.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) collect(moved []uint32, changed bool, seq uint64, buf []*Subscription) []*Subscription {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.resolveLocked()
+	take := func(s *Subscription) {
+		if s.touched != seq {
+			s.touched = seq
+			buf = append(buf, s)
+		}
+	}
+	for _, s := range ix.fresh {
+		if s.indexed {
+			take(s)
+		}
+	}
+	clear(ix.fresh)
+	ix.fresh = ix.fresh[:0]
+	if changed {
+		//enblogue:unordered wildcard candidates: each subscription is evaluated independently against the same ranking, so collection order is immaterial
+		for _, s := range ix.wildcard {
+			take(s)
+		}
+		for _, id := range moved {
+			//enblogue:unordered posting-list candidates: each subscription is evaluated independently against the same ranking, so collection order is immaterial
+			for _, s := range ix.byTag[id] {
+				take(s)
+			}
+		}
+	}
+	return buf
+}
+
+// fullInto appends every unpredicated subscription to buf.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) fullInto(buf []*Subscription) []*Subscription {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	//enblogue:unordered full-subscription collection: each subscription receives on its own channel, so order between subscribers is immaterial
+	for _, s := range ix.full {
+		buf = append(buf, s)
+	}
+	return buf
+}
+
+// tagCount returns the number of distinct interned tags with at least one
+// interested subscription.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) tagCount() int {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	return len(ix.byTag)
+}
+
+// reset drops every index structure; used by broker.close so a closed
+// engine retains no subscription state.
+//
+//enblogue:acquires subidx
+func (ix *subIndex) reset() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	clear(ix.byTag)
+	clear(ix.wildcard)
+	clear(ix.full)
+	clear(ix.pending)
+	clear(ix.fresh)
+	ix.fresh = ix.fresh[:0]
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"enblogue/internal/pairs"
+	"enblogue/internal/persona"
+	"enblogue/internal/shift"
+)
+
+// mkTopic builds a scored topic; MakeKey interns the tags, exactly as
+// ingest would have.
+func mkTopic(a, b string, score float64) shift.Topic {
+	return shift.Topic{Pair: pairs.MakeKey(a, b), Score: score}
+}
+
+func mkRanking(at time.Time, topics ...shift.Topic) Ranking {
+	return Ranking{At: at, Seeds: []string{"seed"}, Topics: topics}
+}
+
+// drain empties the subscription's buffered notifications without
+// blocking (the channel must still be open).
+func drainNotifs(sub *Subscription) []*Notification {
+	var out []*Notification
+	for {
+		select {
+		case n := <-sub.Notifications():
+			out = append(out, n)
+		default:
+			return out
+		}
+	}
+}
+
+// pairStrings renders a notification's topic pairs.
+func pairStrings(n *Notification) []string {
+	var out []string
+	for _, t := range n.Topics() {
+		out = append(out, t.Pair.String())
+	}
+	return out
+}
+
+// A tagged subscription is delta-driven: it sees its initial filtered
+// view, is skipped while its view is unchanged (even across ticks that
+// move other tags), and fires again when its tag's score moves, when its
+// topic leaves, and when it re-enters.
+func TestSubTagsDeltaDrivenDelivery(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	sub := e.Subscribe(context.Background(), SubTags("alpha"), SubBuffer(64))
+	other := e.Subscribe(context.Background(), SubTags("carol"), SubBuffer(64))
+
+	at := t0
+	tick := func(topics ...shift.Topic) {
+		at = at.Add(time.Hour)
+		e.PublishRanking(mkRanking(at, topics...))
+	}
+
+	// Tick 1: alpha present — initial view delivered.
+	tick(mkTopic("alpha", "beta", 1.0), mkTopic("carol", "dave", 0.5))
+	got := drainNotifs(sub)
+	if len(got) != 1 {
+		t.Fatalf("initial view: %d notifications, want 1", len(got))
+	}
+	if ps := pairStrings(got[0]); len(ps) != 1 || ps[0] != pairs.MakeKey("alpha", "beta").String() {
+		t.Fatalf("initial view topics = %v", ps)
+	}
+	if en := got[0].Entered(); len(en) != 1 {
+		t.Fatalf("initial view entered = %v, want the alpha pair", en)
+	}
+
+	// Tick 2: identical ranking — nothing moved, nobody notified.
+	tick(mkTopic("alpha", "beta", 1.0), mkTopic("carol", "dave", 0.5))
+	if got := drainNotifs(sub); len(got) != 0 {
+		t.Fatalf("unchanged tick delivered %d notifications", len(got))
+	}
+	if n := e.MatchedLastTick(); n != 0 {
+		t.Fatalf("MatchedLastTick = %d after unchanged tick, want 0", n)
+	}
+
+	// Tick 3: only carol's score moves — alpha's subscriber stays cold.
+	tick(mkTopic("alpha", "beta", 1.0), mkTopic("carol", "dave", 0.9))
+	if got := drainNotifs(sub); len(got) != 0 {
+		t.Fatalf("unrelated movement delivered %d notifications to alpha", len(got))
+	}
+	if got := drainNotifs(other); len(got) != 2 {
+		t.Fatalf("carol subscriber saw %d notifications, want 2 (initial + move)", len(got))
+	}
+
+	// Tick 4: alpha's score moves — delivered, no entered/left churn.
+	tick(mkTopic("alpha", "beta", 1.5), mkTopic("carol", "dave", 0.9))
+	got = drainNotifs(sub)
+	if len(got) != 1 {
+		t.Fatalf("score move: %d notifications, want 1", len(got))
+	}
+	if en, lf := got[0].Entered(), got[0].Left(); len(en) != 0 || len(lf) != 0 {
+		t.Fatalf("score move: entered=%v left=%v, want empty", en, lf)
+	}
+
+	// Tick 5: alpha drops out — delivered with an empty view and a left set.
+	tick(mkTopic("carol", "dave", 0.9))
+	got = drainNotifs(sub)
+	if len(got) != 1 {
+		t.Fatalf("departure: %d notifications, want 1", len(got))
+	}
+	if len(got[0].Topics()) != 0 {
+		t.Fatalf("departure view still has topics: %v", pairStrings(got[0]))
+	}
+	if lf := got[0].Left(); len(lf) != 1 || lf[0] != pairs.MakeKey("alpha", "beta") {
+		t.Fatalf("departure left = %v", lf)
+	}
+
+	// Tick 6: alpha re-enters under a different partner.
+	tick(mkTopic("alpha", "erin", 2.0), mkTopic("carol", "dave", 0.9))
+	got = drainNotifs(sub)
+	if len(got) != 1 {
+		t.Fatalf("re-entry: %d notifications, want 1", len(got))
+	}
+	if en := got[0].Entered(); len(en) != 1 || en[0] != pairs.MakeKey("alpha", "erin") {
+		t.Fatalf("re-entry entered = %v", en)
+	}
+}
+
+// A subscriber to an already-stable tag must still receive its initial
+// view on the first tick after subscribing, even though nothing moved.
+func TestFreshSubscriberForcedInitialEvaluation(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	anchor := e.Subscribe(context.Background(), SubBuffer(64))
+
+	r := mkRanking(t0, mkTopic("stable", "pair", 1.0))
+	e.PublishRanking(r)
+	late := e.Subscribe(context.Background(), SubTags("stable"), SubBuffer(64))
+	r2 := mkRanking(t0.Add(time.Hour), mkTopic("stable", "pair", 1.0))
+	e.PublishRanking(r2)
+
+	got := drainNotifs(late)
+	if len(got) != 1 {
+		t.Fatalf("late subscriber got %d notifications, want exactly its initial view", len(got))
+	}
+	if !got[0].At().Equal(r2.At) {
+		t.Fatalf("initial view at %v, want the first post-subscribe tick %v", got[0].At(), r2.At)
+	}
+	if len(drainNotifs(anchor)) != 2 {
+		t.Fatal("full subscriber should see every tick")
+	}
+}
+
+// All-of, min-score, and emergence-only predicates.
+func TestPredicateVariants(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	both := e.Subscribe(context.Background(), SubAllTags("x", "y"), SubBuffer(64))
+	floor := e.Subscribe(context.Background(), SubMinScore(1.0), SubBuffer(64))
+	emerge := e.Subscribe(context.Background(), SubTags("x"), SubEmergenceOnly(), SubBuffer(64))
+
+	at := t0
+	tick := func(topics ...shift.Topic) {
+		at = at.Add(time.Hour)
+		e.PublishRanking(mkRanking(at, topics...))
+	}
+
+	tick(mkTopic("x", "z", 2.0), mkTopic("x", "y", 0.5))
+	if got := drainNotifs(both); len(got) != 1 || len(got[0].Topics()) != 1 ||
+		got[0].Topics()[0].Pair != pairs.MakeKey("x", "y") {
+		t.Fatalf("all-of view wrong: %d notifications", len(got))
+	}
+	if got := drainNotifs(floor); len(got) != 1 || len(got[0].Topics()) != 1 ||
+		got[0].Topics()[0].Pair != pairs.MakeKey("x", "z") {
+		t.Fatalf("min-score view wrong")
+	}
+	// Emergence: both x-topics entered.
+	if got := drainNotifs(emerge); len(got) != 1 || len(got[0].Topics()) != 2 {
+		t.Fatalf("emergence initial view wrong")
+	}
+
+	// Scores move but nothing new enters: emergence-only stays silent,
+	// min-score (wildcard) fires on the changed view.
+	tick(mkTopic("x", "z", 2.5), mkTopic("x", "y", 0.5))
+	if got := drainNotifs(emerge); len(got) != 0 {
+		t.Fatalf("emergence-only fired on a score-only change (%d)", len(got))
+	}
+	if got := drainNotifs(floor); len(got) != 1 {
+		t.Fatalf("min-score subscriber missed a score change above the floor")
+	}
+
+	// A new x-topic enters: emergence delivers only the entrant.
+	tick(mkTopic("x", "z", 2.5), mkTopic("x", "y", 0.5), mkTopic("x", "w", 3.0))
+	got := drainNotifs(emerge)
+	if len(got) != 1 || len(got[0].Topics()) != 1 ||
+		got[0].Topics()[0].Pair != pairs.MakeKey("w", "x") {
+		t.Fatalf("emergence payload should carry only the entrant")
+	}
+}
+
+// Subscribing to a tag the stream has not interned yet parks the predicate;
+// it resolves and starts matching as soon as the tag first appears.
+func TestPendingTagResolution(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	// A tag name nobody else uses, guaranteed un-interned at subscribe time.
+	tag := fmt.Sprintf("pending-tag-%d", time.Now().UnixNano())
+	sub := e.Subscribe(context.Background(), SubTags(tag), SubBuffer(64))
+
+	e.PublishRanking(mkRanking(t0, mkTopic("noise", "pair", 1.0)))
+	if got := drainNotifs(sub); len(got) != 0 {
+		t.Fatalf("pending predicate matched %d notifications before its tag existed", len(got))
+	}
+	if n := e.IndexedTags(); n != 0 {
+		t.Fatalf("IndexedTags = %d while the only predicate is pending", n)
+	}
+
+	// The tag appears (MakeKey interns it, as ingest would).
+	e.PublishRanking(mkRanking(t0.Add(time.Hour), mkTopic(tag, "pair", 2.0), mkTopic("noise", "pair", 1.0)))
+	got := drainNotifs(sub)
+	if len(got) != 1 || len(got[0].Topics()) != 1 {
+		t.Fatalf("resolved predicate delivered %d notifications", len(got))
+	}
+	if got[0].Topics()[0].Pair != pairs.MakeKey(tag, "pair") {
+		t.Fatalf("resolved predicate matched the wrong topic")
+	}
+	if n := e.IndexedTags(); n != 1 {
+		t.Fatalf("IndexedTags = %d after resolution, want 1", n)
+	}
+}
+
+// IndexedTags counts distinct subscribed tags; MatchedLastTick counts
+// notifications actually built; both fall back to zero as subs close.
+func TestSubscriptionIndexStats(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	s1 := e.Subscribe(context.Background(), SubTags("a", "b"), SubBuffer(8))
+	s2 := e.Subscribe(context.Background(), SubTags("b", "c"), SubBuffer(8))
+	full := e.Subscribe(context.Background(), SubBuffer(8))
+	_ = full
+
+	// MakeKey interns a, b, c via the rankings below; intern them now so
+	// IndexedTags counts resolved postings.
+	e.PublishRanking(mkRanking(t0, mkTopic("a", "b", 1.0), mkTopic("b", "c", 0.5)))
+	if n := e.IndexedTags(); n != 3 {
+		t.Fatalf("IndexedTags = %d, want 3 (a, b, c)", n)
+	}
+	// Tick matched: s1, s2 (initial views) and the full subscriber.
+	if n := e.MatchedLastTick(); n != 3 {
+		t.Fatalf("MatchedLastTick = %d, want 3", n)
+	}
+	s1.Close()
+	s2.Close()
+	if n := e.IndexedTags(); n != 0 {
+		t.Fatalf("IndexedTags = %d after closing predicated subs, want 0", n)
+	}
+}
+
+// A persona profile composes with a predicate: the filtered view is
+// re-ranked exactly as persona.Rerank would rank it.
+func TestPredicateComposesWithPersona(t *testing.T) {
+	e := New(testConfig())
+	defer e.Close()
+	p := &persona.Profile{Name: "w", Keywords: []string{"hot"}, Boost: 10}
+	sub := e.Subscribe(context.Background(), SubTags("hot", "cold"), SubProfile(p), SubBuffer(8))
+
+	e.PublishRanking(mkRanking(t0,
+		mkTopic("cold", "thing", 2.0), mkTopic("hot", "thing", 1.0), mkTopic("other", "noise", 5.0)))
+	got := drainNotifs(sub)
+	if len(got) != 1 {
+		t.Fatalf("%d notifications, want 1", len(got))
+	}
+	topics := got[0].Topics()
+	if len(topics) != 2 {
+		t.Fatalf("filtered persona view has %d topics, want 2", len(topics))
+	}
+	// Boosted hot-topic must outrank the higher-raw-score cold topic.
+	if topics[0].Pair != pairs.MakeKey("hot", "thing") {
+		t.Fatalf("persona boost not applied within filtered view: top is %v", topics[0].Pair)
+	}
+}
+
+// Concurrent subscribe/close/consume churn while predicates match and
+// unmatch. Run under -race; the detector is the real assertion.
+func TestSubscriptionChurnUnderDispatch(t *testing.T) {
+	e := New(testConfig())
+	docs := brokerStream()
+
+	stopPub := make(chan struct{})
+	var pubWG sync.WaitGroup
+	pubWG.Add(1)
+	go func() {
+		defer pubWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stopPub:
+				return
+			default:
+			}
+			e.PublishRanking(mkRanking(t0.Add(time.Duration(i)*time.Minute),
+				mkTopic("politics", "scandal", float64(i%7)+0.5),
+				mkTopic("churn", "noise", float64(i%3)+0.1)))
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				var opts []SubOption
+				switch (w + i) % 4 {
+				case 0:
+					opts = []SubOption{SubTags("politics"), SubBuffer(2)}
+				case 1:
+					opts = []SubOption{SubTags("churn"), SubEmergenceOnly(), SubBuffer(2)}
+				case 2:
+					opts = []SubOption{SubMinScore(1.5), SubBuffer(2)}
+				default:
+					opts = []SubOption{SubBuffer(2)}
+				}
+				sub := e.Subscribe(context.Background(), opts...)
+				drainNotifs(sub)
+				sub.Close()
+			}
+		}(w)
+	}
+	// Real ingest churns the intern table concurrently (pending resolution).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := range docs {
+			e.Consume(docs[i].Item())
+		}
+	}()
+	wg.Wait()
+	close(stopPub)
+	pubWG.Wait()
+	e.Close()
+	if n := e.Subscribers(); n != 0 {
+		t.Fatalf("Subscribers = %d after churn and Close", n)
+	}
+}

@@ -69,7 +69,8 @@ func runEngine(cfg core.Config, docs []source.Document) *tickLog {
 	}
 	e.Flush()
 	e.Close()
-	for r := range sub.Rankings() {
+	for rn := range sub.Notifications() {
+		r := rn.Ranking()
 		log.rankings = append(log.rankings, r)
 	}
 	return log

@@ -262,7 +262,8 @@ func TestHistoryWithEngine(t *testing.T) {
 	recorded := make(chan error, 1)
 	go func() {
 		defer close(recorded)
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			if err := h.Record(r); err != nil {
 				recorded <- err
 				return

@@ -40,6 +40,8 @@ type Engine interface {
 	Seeds() []string
 	LastEventTime() time.Time
 	Subscribers() int
+	IndexedTags() int
+	MatchedLastTick() int64
 	RankingsDropped() int64
 	Subscribe(ctx context.Context, opts ...core.SubOption) *core.Subscription
 	Consume(it *stream.Item)
@@ -372,7 +374,8 @@ func (s *Server) FollowTenant(name string, e Engine) error {
 	// relative to a tick interval.
 	sub := e.Subscribe(ctx, core.SubBuffer(4096))
 	go func() {
-		for r := range sub.Rankings() {
+		for rn := range sub.Notifications() {
+			r := rn.Ranking()
 			s.publish(t, r)
 		}
 	}()
@@ -410,6 +413,8 @@ type StatsView struct {
 	Profiles        int       `json:"profiles"`
 	Subscriptions   int       `json:"subscriptions"`
 	RankingsDropped int64     `json:"rankingsDropped"`
+	IndexedTags     int       `json:"indexedTags"`
+	MatchedLastTick int64     `json:"matchedLastTick"`
 	IngestDepth     int       `json:"ingestDepth"`
 	IngestDropped   int64     `json:"ingestDropped"`
 	Tenant          string    `json:"tenant"`
@@ -586,6 +591,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		view.LastEventTime = e.LastEventTime()
 		view.Subscriptions = e.Subscribers()
 		view.RankingsDropped = e.RankingsDropped()
+		view.IndexedTags = e.IndexedTags()
+		view.MatchedLastTick = e.MatchedLastTick()
 		view.IngestDepth = e.IngestDepth()
 		view.IngestDropped = e.IngestDropped()
 	}

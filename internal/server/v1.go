@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
 
 	"enblogue/internal/core"
 	"enblogue/internal/pairs"
@@ -117,14 +120,70 @@ func (s *Server) handleV1Rankings(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, RankingView{At: view.At, Seeds: view.Seeds, Topics: out})
 }
 
+// predicateOpts parses the stream predicate query parameters —
+// ?tags=a,b (any-of), ?allTags=a,b (all-of), ?minScore=0.5,
+// ?emergenceOnly=true — into subscription options. Returns nil options
+// when no predicate parameter is present.
+func predicateOpts(q url.Values) ([]core.SubOption, error) {
+	var opts []core.SubOption
+	if tags := splitTagList(q.Get("tags")); len(tags) > 0 {
+		opts = append(opts, core.SubTags(tags...))
+	}
+	if tags := splitTagList(q.Get("allTags")); len(tags) > 0 {
+		opts = append(opts, core.SubAllTags(tags...))
+	}
+	if v := q.Get("minScore"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad minScore %q", v)
+		}
+		opts = append(opts, core.SubMinScore(f))
+	}
+	if v := q.Get("emergenceOnly"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, fmt.Errorf("bad emergenceOnly %q", v)
+		}
+		if b {
+			opts = append(opts, core.SubEmergenceOnly())
+		}
+	}
+	return opts, nil
+}
+
+func splitTagList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 // handleV1Stream serves GET [/v1/tenants/{tenant}]/v1/stream
-// [?profile=name]. Without a profile it is the tenant's broadcast SSE
-// feed. With one, the server opens a dedicated engine subscription
-// carrying that persona — a server-side continuous query — and streams its
-// re-ranked views for the lifetime of the request.
+// [?profile=name][&tags=a,b][&allTags=a,b][&minScore=f][&emergenceOnly=true].
+// Without a profile or predicate it is the tenant's broadcast SSE feed —
+// every such client shares the single payload the hub marshalled for the
+// tick, so fan-out cost is one serialization per tick regardless of
+// client count. With a profile and/or predicate parameters, the server
+// opens a dedicated engine subscription — a server-side continuous query
+// compiled into the broker's inverted tag index — and streams its
+// filtered, re-ranked views for the lifetime of the request; predicated
+// streams only carry frames on ticks where the filtered view changed.
 func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
-	name := r.URL.Query().Get("profile")
-	if name == "" {
+	q := r.URL.Query()
+	name := q.Get("profile")
+	predOpts, err := predicateOpts(q)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if name == "" && len(predOpts) == 0 {
 		s.handleEvents(w, r)
 		return
 	}
@@ -132,16 +191,18 @@ func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
 	if t == nil {
 		return
 	}
-	p := t.registry.Get(name)
-	if p == nil {
-		http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
-		return
+	var p *persona.Profile
+	if name != "" {
+		if p = t.registry.Get(name); p == nil {
+			http.Error(w, fmt.Sprintf("unknown profile %q", name), http.StatusNotFound)
+			return
+		}
 	}
 	t.mu.Lock()
 	e := t.engine
 	t.mu.Unlock()
 	if e == nil {
-		http.Error(w, "no engine attached; per-profile streams unavailable", http.StatusServiceUnavailable)
+		http.Error(w, "no engine attached; per-profile and predicate streams unavailable", http.StatusServiceUnavailable)
 		return
 	}
 	fl, ok := w.(http.Flusher)
@@ -162,9 +223,14 @@ func (s *Server) handleV1Stream(w http.ResponseWriter, r *http.Request) {
 	defer cancel()
 	stop := context.AfterFunc(t.ctx, cancel)
 	defer stop()
-	sub := e.Subscribe(ctx, core.SubProfile(p), core.SubBuffer(8))
+	subOpts := append(predOpts, core.SubBuffer(8))
+	if p != nil {
+		subOpts = append(subOpts, core.SubProfile(p))
+	}
+	sub := e.Subscribe(ctx, subOpts...)
 	defer sub.Close()
-	for rk := range sub.Rankings() {
+	for rkn := range sub.Notifications() {
+		rk := rkn.Ranking()
 		frame, err := json.Marshal(rankingToView(rk))
 		if err != nil {
 			return

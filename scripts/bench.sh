@@ -5,12 +5,16 @@
 # numbers quoted in README.md come from these files.
 #
 # Usage:
-#   scripts/bench.sh [bench-regexp]          # default: BenchmarkThroughput
+#   scripts/bench.sh [bench-regexp]          # default: throughput + dispatch
 #   BENCHTIME=2s scripts/bench.sh            # longer measurement window
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-bench="${1:-BenchmarkThroughput}"
+# The default matrix records both ingest throughput (BenchmarkThroughput*)
+# and subscription-dispatch cost (BenchmarkBroadcastSubscribers: population
+# × matched-fraction; the 1%-matched column must stay ≥10× cheaper than
+# 100%-matched).
+bench="${1:-BenchmarkThroughput|BenchmarkBroadcastSubscribers}"
 out="BENCH_$(date -u +%F).json"
 # Never clobber an existing (possibly committed, possibly hand-annotated)
 # record: same-day reruns get a time-suffixed file instead.
