@@ -60,6 +60,7 @@ func main() {
 	shards := flag.Int("shards", 0, "engine shards (0: one per CPU; rankings are shard-count independent)")
 	historyTicks := flag.Int("history", 10000, "ranking history length in ticks (default tenant; others get the same)")
 	tenants := flag.String("tenants", "", "comma-separated tenant names to bootstrap beside the default replay tenant")
+	dataDir := flag.String("data-dir", "", "durability root: per-tenant snapshots + WAL live under it; empty disables persistence")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -85,7 +86,7 @@ func main() {
 
 	// One hub hosts every tenant. The flags become hub-wide defaults, so
 	// tenants created over the wire inherit them too.
-	hub := enblogue.NewHub(enblogue.HubDefaults(
+	defaults := []enblogue.Option{
 		enblogue.WithWindow(24, time.Hour),
 		enblogue.WithTickEvery(time.Hour),
 		enblogue.WithSeedCount(30),
@@ -93,7 +94,11 @@ func main() {
 		enblogue.WithTopK(10),
 		enblogue.WithUpOnly(),
 		enblogue.WithShards(*shards),
-	))
+	}
+	if *dataDir != "" {
+		defaults = append(defaults, enblogue.WithDurability(*dataDir))
+	}
+	hub := enblogue.NewHub(enblogue.HubDefaults(defaults...))
 
 	engine, err := hub.Open(server.DefaultTenant)
 	if err != nil {
@@ -125,6 +130,33 @@ func main() {
 			os.Exit(1)
 		}
 		extra = append(extra, name)
+	}
+
+	// With durability on, tenants created over the wire in a previous run
+	// left per-tenant subdirectories behind; reopen them so their recovered
+	// rankings are live immediately instead of waiting for the next POST.
+	if *dataDir != "" {
+		entries, err := os.ReadDir(*dataDir)
+		if err != nil && !errors.Is(err, os.ErrNotExist) {
+			fmt.Fprintf(os.Stderr, "enblogue-server: data dir: %v\n", err)
+			os.Exit(1)
+		}
+		for _, ent := range entries {
+			name := ent.Name()
+			if !ent.IsDir() || name == server.DefaultTenant {
+				continue
+			}
+			e, err := hub.Open(name) // validates the name; rejects strays
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "enblogue-server: skipping data dir entry %q: %v\n", name, err)
+				continue
+			}
+			if err := srv.FollowTenant(name, e); err != nil {
+				// Already followed via -tenants: fine, it is the same engine.
+				continue
+			}
+			extra = append(extra, name)
+		}
 	}
 
 	go func() {

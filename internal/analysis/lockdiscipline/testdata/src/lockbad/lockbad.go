@@ -75,3 +75,45 @@ func (b *B) SendWhileCollecting() {
 	b.mu.Unlock()
 	b.imu.Unlock()
 }
+
+// P mirrors the durability hierarchy (persistSnap 5 < persist 7 <
+// engine 10 < wal 15).
+type P struct {
+	//enblogue:lock persistSnap 5
+	snapMu sync.Mutex
+	//enblogue:lock persist 7
+	gate sync.RWMutex
+	//enblogue:lock engine 10
+	mu sync.Mutex
+	//enblogue:lock wal 15
+	walMu sync.Mutex
+}
+
+// SnapshotUnderEngine starts a snapshot while holding the engine lock:
+// the nesting the durability layer must never commit — a concurrent
+// Snapshot holding snapMu and waiting on the engine would deadlock.
+func (p *P) SnapshotUnderEngine() {
+	p.mu.Lock()
+	p.snapMu.Lock() // want `lock order violation: acquiring "persistSnap" \(order 5\) while holding "engine" \(order 10\)`
+	p.snapMu.Unlock()
+	p.mu.Unlock()
+}
+
+// GateUnderEngine quiesces ingest from under the engine bookkeeping lock:
+// same inversion one layer down (Consume holds the gate, then the engine
+// lock; a writer parked on the gate inside the engine lock never wakes).
+func (p *P) GateUnderEngine() {
+	p.mu.Lock()
+	p.gate.Lock() // want `lock order violation: acquiring "persist" \(order 7\) while holding "engine" \(order 10\)`
+	p.gate.Unlock()
+	p.mu.Unlock()
+}
+
+// EngineUnderWAL calls back into the engine from the WAL lock — the
+// recorder-must-not-reenter-the-engine contract.
+func (p *P) EngineUnderWAL() {
+	p.walMu.Lock()
+	p.mu.Lock() // want `lock order violation: acquiring "engine" \(order 10\) while holding "wal" \(order 15\)`
+	p.mu.Unlock()
+	p.walMu.Unlock()
+}

@@ -93,3 +93,57 @@ func (b *B) Dispatch() {
 	b.mu.Lock()
 	b.mu.Unlock()
 }
+
+// P mirrors the durability hierarchy introduced with the persistence
+// layer: the store's snapshot mutex is outermost in the whole process
+// (class 5), the engine's ingest gate (persist 7) and bookkeeping lock
+// (engine 10) nest inside it, and the WAL lock (wal 15) is innermost —
+// rotation happens inside the snapshot gate. The snapshot writer descends
+// into the engine; nothing under an engine lock ever reaches back up.
+type P struct {
+	//enblogue:lock persistSnap 5
+	snapMu sync.Mutex
+	//enblogue:lock persist 7
+	gate sync.RWMutex
+	//enblogue:lock engine 10
+	mu sync.Mutex
+	//enblogue:lock wal 15
+	walMu sync.Mutex
+	docs  int
+}
+
+// Snapshot is the durable-snapshot shape: serialize snapshots, quiesce
+// ingest, export under the engine lock, rotate the WAL — all ascending.
+//
+//enblogue:acquires persistSnap
+//enblogue:acquires persist
+//enblogue:acquires engine
+//enblogue:acquires wal
+func (p *P) Snapshot() {
+	p.snapMu.Lock()
+	defer p.snapMu.Unlock()
+	p.gate.Lock()
+	defer p.gate.Unlock()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	_ = p.docs
+	p.walMu.Lock()
+	p.docs = 0
+	p.walMu.Unlock()
+}
+
+// Record is the ingest shape: the WAL append nests inside the engine
+// locks, never the other way around.
+//
+//enblogue:acquires persist
+//enblogue:acquires engine
+//enblogue:acquires wal
+func (p *P) Record() {
+	p.gate.RLock()
+	defer p.gate.RUnlock()
+	p.mu.Lock()
+	p.docs++
+	p.walMu.Lock()
+	p.walMu.Unlock()
+	p.mu.Unlock()
+}

@@ -116,6 +116,11 @@ type Config struct {
 	// Tagger, when set together with UseEntities, annotates items that
 	// arrive with text but no entities.
 	Tagger *entity.Tagger
+
+	// Durability enables snapshot + write-ahead-log persistence when its
+	// Dir is set: prior state is recovered during New and every consumed
+	// document is logged for crash recovery. See DurabilityConfig.
+	Durability DurabilityConfig
 }
 
 // normalize is the single place nonsensical configurations are repaired:
@@ -220,6 +225,22 @@ type Engine struct {
 	// LastEventTime is callable from anywhere.
 	lastSeenNano atomic.Int64
 
+	// gate quiesces ingest for state exports: Consume/ConsumeBatch hold it
+	// shared across a whole document — bookkeeping AND the pair observation
+	// that happens after mu is released — while SnapshotState holds it
+	// exclusively, so a snapshot never catches a document counted in docs
+	// but not yet applied to the pair trackers. It is the outermost engine
+	// lock and uncontended (shared) in steady state.
+	//
+	//enblogue:lock persist 7
+	gate sync.RWMutex
+
+	// wal and dur are the durability attachments (nil when Durability.Dir
+	// is unset), assigned once during New — after recovery replay, so
+	// replayed documents are not re-logged — and immutable afterwards.
+	wal WALRecorder
+	dur Durability
+
 	// mu serialises stream bookkeeping (event clock, tick boundaries, tag
 	// statistics) and evaluation ticks against each other. Pair tracking
 	// itself happens outside mu under the per-shard tracker locks, so
@@ -278,7 +299,7 @@ func New(cfg Config) *Engine {
 	// tracker cache resolved IDs per slot spares the evaluation tick one
 	// string hash per active tag (see tagstats.SetTagIDResolver).
 	tags.SetTagIDResolver(intern.Find)
-	return &Engine{
+	e := &Engine{
 		dist:   dist,
 		cfg:    c,
 		tick:   newTickScratch(c.Shards),
@@ -300,6 +321,11 @@ func New(cfg Config) *Engine {
 		}),
 		seeds: tagstats.NewSeedSelector(c.SeedCount, c.SeedCriterion, c.SeedMinCount),
 	}
+	// Recovery and WAL attachment happen last: the engine is fully built,
+	// and e.wal is still nil while the hook replays prior documents, so the
+	// replay is not re-logged.
+	e.attachDurability()
+	return e
 }
 
 // Config returns the effective engine configuration.
@@ -379,6 +405,11 @@ func (e *Engine) Close() {
 		<-e.ingestDone
 	}
 	e.broker.close()
+	if e.dur != nil {
+		// After ingest has drained, so the final WAL sync covers every
+		// consumed document. Close is idempotent on the persistence side.
+		e.dur.Close()
+	}
 }
 
 // LastEventTime returns the newest event timestamp consumed so far (zero
@@ -410,6 +441,7 @@ func (e *Engine) itemTags(it *stream.Item) []string {
 // serialise on the bookkeeping lock but fan pair updates out to the
 // tracker shards in parallel.
 //
+//enblogue:acquires persist
 //enblogue:acquires engine
 //enblogue:hotpath
 func (e *Engine) Consume(it *stream.Item) {
@@ -418,6 +450,12 @@ func (e *Engine) Consume(it *stream.Item) {
 	}
 	t := it.Time
 	tags := e.itemTags(it)
+
+	// Held shared across the whole document — including the pair
+	// observation below, outside mu — so state exports (which take it
+	// exclusively) never see a half-applied document.
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 
 	e.mu.Lock()
 	if t.After(e.LastEventTime()) {
@@ -440,6 +478,11 @@ func (e *Engine) Consume(it *stream.Item) {
 
 	e.tags.Observe(t, tags)
 	docs := e.docs.Add(1)
+	if e.wal != nil {
+		// The raw item is logged (pre-itemTags), so replay re-derives entity
+		// tags identically instead of trusting a stale derivation.
+		e.wal.RecordDoc(docs, it)
+	}
 
 	// Bootstrap the seed set once enough documents have arrived, so pair
 	// tracking starts before the first tick.
@@ -478,12 +521,15 @@ func (e *Engine) Consume(it *stream.Item) {
 // Safe for concurrent use with every other engine method; determinism is
 // promised for a sequentially fed stream, as with Consume.
 //
+//enblogue:acquires persist
 //enblogue:acquires engine
 //enblogue:hotpath
 func (e *Engine) ConsumeBatch(items []*stream.Item) {
 	if len(items) == 0 {
 		return
 	}
+	e.gate.RLock()
+	defer e.gate.RUnlock()
 	e.mu.Lock()
 	pend := e.batchDocs[:0]
 	isSeed := e.seeds.Func()
@@ -527,6 +573,9 @@ func (e *Engine) ConsumeBatch(items []*stream.Item) {
 
 		e.tags.Observe(t, tags)
 		docs := e.docs.Add(1)
+		if e.wal != nil {
+			e.wal.RecordDoc(docs, it)
+		}
 		if len(e.seeds.Seeds()) == 0 && docs >= int64(e.cfg.SeedWarmupDocs) {
 			// The bootstrap reselection happens between this document's
 			// bookkeeping and its pair observation, exactly as in Consume:

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
 )
@@ -106,6 +107,13 @@ func (h *Hub) Open(name string, mutate ...func(*Config)) (*Engine, error) {
 		if m != nil {
 			m(&cfg)
 		}
+	}
+	if cfg.Durability.Dir != "" {
+		// Each tenant persists under its own subdirectory; tenant names are
+		// validated above to the URL-path-safe alphabet, so the join cannot
+		// escape the hub's data directory. Reopening a name after a restart
+		// therefore recovers that tenant's prior state inside New.
+		cfg.Durability.Dir = filepath.Join(cfg.Durability.Dir, name)
 	}
 	e := New(cfg) // New normalizes, so overrides cannot wedge the engine
 	h.tenants[name] = e

@@ -1,0 +1,195 @@
+package pairs
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"enblogue/internal/window"
+)
+
+// This file is the pair trackers' durability surface. Exports are canonical:
+// pairs are emitted sorted by Key.Compare (the rendered-string order, which
+// does not depend on interned IDs or shard placement) with every counter
+// advanced to the tracker clock first, so two trackers holding the same
+// logical state — regardless of shard count, slot layout, or lazy-expiry
+// position — export identical state. Restores re-partition by the restoring
+// tracker's own shard count, so a snapshot taken at one shard count restores
+// into any other.
+
+// PairState is one tracked pair's exported window column.
+type PairState struct {
+	Key    Key
+	Window window.SlotState
+}
+
+// ShardedTrackerState is the full serializable state of a ShardedTracker.
+type ShardedTrackerState struct {
+	Pairs   []PairState // sorted by Key.Compare
+	NowNano int64
+	SinceGC int64
+}
+
+// ExportState returns the tracker's full state with pairs sorted by
+// Key.Compare and every counter advanced to the tracker clock. Safe for
+// concurrent use, though callers wanting a consistent engine snapshot must
+// quiesce producers externally (the engine's ingest gate does).
+//
+//enblogue:acquires pairsShard
+func (tr *ShardedTracker) ExportState() ShardedTrackerState {
+	st := ShardedTrackerState{
+		NowNano: tr.nowNano.Load(),
+		SinceGC: tr.sinceGC.Load(),
+		Pairs:   make([]PairState, 0, tr.npairs.Load()),
+	}
+	now := tr.now()
+	for _, sh := range tr.shards {
+		sh.mu.Lock()
+		var abs int64
+		if !now.IsZero() {
+			abs = sh.arena.BucketIndex(now)
+		}
+		for slot, k := range sh.keys {
+			if k == (Key{}) {
+				continue
+			}
+			if !now.IsZero() {
+				// Advance to the shared clock so exported heads agree across
+				// slots and trackers — expiry is lazy, so this changes only
+				// the representation, never any observable count.
+				sh.arena.ValueAtAbs(int32(slot), abs)
+			}
+			st.Pairs = append(st.Pairs, PairState{Key: k, Window: sh.arena.ExportSlot(int32(slot))})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool { return st.Pairs[i].Key.Less(st.Pairs[j].Key) })
+	return st
+}
+
+// RestoreState loads st into an empty tracker, assigning each pair to the
+// shard its key hashes to under this tracker's shard count. Restoring into a
+// tracker that has already observed documents is an error.
+//
+//enblogue:acquires pairsShard
+func (tr *ShardedTracker) RestoreState(st ShardedTrackerState) error {
+	if tr.npairs.Load() != 0 || tr.nowNano.Load() != 0 {
+		return errors.New("pairs: restore into a non-empty tracker")
+	}
+	n := len(tr.shards)
+	for _, p := range st.Pairs {
+		if p.Key == (Key{}) {
+			return errors.New("pairs: restore of a zero pair key")
+		}
+		sh := tr.shards[p.Key.Shard(n)]
+		sh.mu.Lock()
+		if _, dup := sh.slots[p.Key]; dup {
+			sh.mu.Unlock()
+			return fmt.Errorf("pairs: duplicate pair %s in restore state", p.Key)
+		}
+		slot := sh.arena.Alloc()
+		if err := sh.arena.RestoreSlot(slot, p.Window); err != nil {
+			sh.arena.Release(slot)
+			sh.mu.Unlock()
+			return err
+		}
+		sh.slots[p.Key] = slot
+		for int(slot) >= len(sh.keys) {
+			sh.keys = append(sh.keys, Key{})
+		}
+		sh.keys[slot] = p.Key
+		tr.npairs.Add(1)
+		sh.mu.Unlock()
+	}
+	tr.nowNano.Store(st.NowNano)
+	tr.sinceGC.Store(st.SinceGC)
+	return nil
+}
+
+// DistCoState is one (tag, co-tag) counter's exported window.
+type DistCoState struct {
+	Co string
+	W  window.TimeBucketsState
+}
+
+// DistTagState is one tag's exported co-tag distribution.
+type DistTagState struct {
+	Tag string
+	Co  []DistCoState // sorted by Co
+}
+
+// DistState is the full serializable state of a DistTracker.
+type DistState struct {
+	Tags    []DistTagState // sorted by Tag
+	NowNano int64
+	NowSet  bool
+	SinceGC int64
+}
+
+// ExportState returns the distribution tracker's full state with tags and
+// co-tags sorted and every counter advanced to the tracker clock.
+//
+//enblogue:acquires pairsDist
+func (dt *DistTracker) ExportState() DistState {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	st := DistState{
+		NowNano: dt.now.UnixNano(),
+		NowSet:  !dt.now.IsZero(),
+		SinceGC: int64(dt.sinceGC),
+		Tags:    make([]DistTagState, 0, len(dt.byTag)),
+	}
+	if !st.NowSet {
+		st.NowNano = 0
+	}
+	//enblogue:unordered collects every tag for an explicit sort below; insertion order is immaterial
+	for tag, m := range dt.byTag {
+		ts := DistTagState{Tag: tag, Co: make([]DistCoState, 0, len(m))}
+		//enblogue:unordered collects every co-tag for an explicit sort below; see outer loop
+		for co, c := range m {
+			if st.NowSet {
+				c.Observe(dt.now) // canonicalise the head; expiry is lazy
+			}
+			ts.Co = append(ts.Co, DistCoState{Co: co, W: c.ExportState()})
+		}
+		sort.Slice(ts.Co, func(i, j int) bool { return ts.Co[i].Co < ts.Co[j].Co })
+		st.Tags = append(st.Tags, ts)
+	}
+	sort.Slice(st.Tags, func(i, j int) bool { return st.Tags[i].Tag < st.Tags[j].Tag })
+	return st
+}
+
+// RestoreState loads st into an empty distribution tracker.
+//
+//enblogue:acquires pairsDist
+func (dt *DistTracker) RestoreState(st DistState) error {
+	dt.mu.Lock()
+	defer dt.mu.Unlock()
+	if len(dt.byTag) != 0 || dt.counters != 0 {
+		return errors.New("pairs: restore into a non-empty distribution tracker")
+	}
+	for _, ts := range st.Tags {
+		if _, dup := dt.byTag[ts.Tag]; dup {
+			return fmt.Errorf("pairs: duplicate tag %q in distribution restore state", ts.Tag)
+		}
+		m := make(map[string]*window.Counter, len(ts.Co))
+		for _, cs := range ts.Co {
+			if _, dup := m[cs.Co]; dup {
+				return fmt.Errorf("pairs: duplicate co-tag %q under %q in distribution restore state", cs.Co, ts.Tag)
+			}
+			c := window.NewCounter(dt.cfg.Buckets, dt.cfg.Resolution)
+			if err := c.RestoreState(cs.W); err != nil {
+				return err
+			}
+			m[cs.Co] = c
+			dt.counters++
+		}
+		dt.byTag[ts.Tag] = m
+	}
+	if st.NowSet {
+		dt.now = time.Unix(0, st.NowNano).UTC()
+	}
+	dt.sinceGC = int(st.SinceGC)
+	return nil
+}

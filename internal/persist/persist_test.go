@@ -1,0 +1,430 @@
+package persist
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"enblogue/internal/core"
+	"enblogue/internal/source"
+	"enblogue/internal/stream"
+)
+
+// The persist test binary wires the durability hook itself — in production
+// the root enblogue package does this from init, but persist cannot import
+// it (the dependency points the other way).
+func init() { core.SetDurabilityHook(Attach) }
+
+// testItems returns a deterministic workload: a few thousand synthetic
+// tweets spanning enough event time for several evaluation ticks.
+func testItems(t testing.TB) []*stream.Item {
+	t.Helper()
+	docs := source.GenerateTweets(source.TweetConfig{
+		Seed: 7, Span: 6 * time.Hour, TweetsPerMinute: 8,
+	})
+	items := make([]*stream.Item, len(docs))
+	for i := range docs {
+		items[i] = docs[i].Item()
+	}
+	return items
+}
+
+// testConfig is a small but tick-active engine configuration.
+func testConfig(shards int) core.Config {
+	return core.Config{
+		WindowBuckets:    6,
+		WindowResolution: time.Hour,
+		TickEvery:        time.Hour,
+		SeedCount:        10,
+		SeedWarmupDocs:   20,
+		MinCooccurrence:  1,
+		TopK:             10,
+		Shards:           shards,
+	}
+}
+
+// durableConfig enables persistence on cfg with the background ticker off
+// (tests snapshot explicitly) and fsync off (same-process "crashes" never
+// lose page-cache writes).
+func durableConfig(cfg core.Config, dir string) core.Config {
+	cfg.Durability = core.DurabilityConfig{
+		Dir:           dir,
+		SnapshotEvery: -1,
+		Fsync:         core.FsyncNever,
+	}
+	return cfg
+}
+
+// stateBytes canonically encodes e's full state; two engines in the same
+// semantic state produce identical bytes regardless of shard count, intern
+// order, or durability settings.
+func stateBytes(e *core.Engine) []byte {
+	st := e.ExportState()
+	return encodeSnapshot(e.Config(), &st)
+}
+
+// mustEqualState fails unless both engines hold bit-identical state.
+func mustEqualState(t *testing.T, want, got *core.Engine) {
+	t.Helper()
+	wb, gb := stateBytes(want), stateBytes(got)
+	if !bytes.Equal(wb, gb) {
+		t.Fatalf("engine states diverge: %d vs %d canonical bytes (docs %d vs %d)",
+			len(wb), len(gb), want.DocsProcessed(), got.DocsProcessed())
+	}
+}
+
+// reference builds a never-persisted engine fed items[:n] — the state every
+// recovery in these tests must reproduce exactly.
+func reference(items []*stream.Item, n, shards int) *core.Engine {
+	e := core.New(testConfig(shards))
+	e.ConsumeBatch(items[:n])
+	return e
+}
+
+// TestRecoverFromWALOnly crashes before any snapshot exists: recovery is a
+// pure WAL replay from document one.
+func TestRecoverFromWALOnly(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items)
+	// Abandon a without Close: the crash. Same-process writes are visible.
+
+	b := core.New(durableConfig(testConfig(2), dir))
+	defer b.Close()
+	if got, want := b.DocsProcessed(), int64(len(items)); got != want {
+		t.Fatalf("recovered %d docs, want %d", got, want)
+	}
+	mustEqualState(t, reference(items, len(items), 2), b)
+	if st, ok := b.DurabilityStats(); !ok || st.LastErr != "" {
+		t.Fatalf("recovery not clean: ok=%v lastErr=%q", ok, st.LastErr)
+	}
+}
+
+// TestRecoverSnapshotPlusTail snapshots mid-stream, keeps consuming, then
+// crashes: recovery is snapshot + WAL tail replay, bit-identical to an
+// engine that never stopped.
+func TestRecoverSnapshotPlusTail(t *testing.T) {
+	items := testItems(t)
+	snapAt := len(items) / 3
+	crashAt := 2 * len(items) / 3
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(4), dir))
+	a.ConsumeBatch(items[:snapAt])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	a.ConsumeBatch(items[snapAt:crashAt])
+	// Crash.
+
+	b := core.New(durableConfig(testConfig(4), dir))
+	defer b.Close()
+	if got, want := b.DocsProcessed(), int64(crashAt); got != want {
+		t.Fatalf("recovered %d docs, want %d", got, want)
+	}
+	// The recovered engine keeps ranking identically on the rest of the
+	// stream — the durable restart is invisible to the output.
+	b.ConsumeBatch(items[crashAt:])
+	mustEqualState(t, reference(items, len(items), 4), b)
+}
+
+// TestRecoverAcrossShardCounts restores a snapshot written by a 1-shard
+// engine into an 8-shard engine: shard count is excluded from the config
+// fingerprint and the state is shard-layout independent.
+func TestRecoverAcrossShardCounts(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(1), dir))
+	a.ConsumeBatch(items[:len(items)/2])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	a.Close()
+
+	b := core.New(durableConfig(testConfig(8), dir))
+	defer b.Close()
+	b.ConsumeBatch(items[len(items)/2:])
+	mustEqualState(t, reference(items, len(items), 8), b)
+}
+
+// TestRecoverStrict pins the strict entry point: Recover into a fresh
+// engine reports the exact document position and reproduces the state.
+func TestRecoverStrict(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items[:1000])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	a.ConsumeBatch(items[1000:1500])
+	a.Close()
+
+	b := core.New(testConfig(2))
+	defer b.Close()
+	pos, err := Recover(dir, b)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if pos != 1500 {
+		t.Fatalf("Recover position = %d, want 1500", pos)
+	}
+	mustEqualState(t, reference(items, 1500, 2), b)
+}
+
+// TestTornTailStopsCleanly cuts the final WAL record mid-line — the normal
+// crash artifact — and expects recovery (both modes) to stop exactly at
+// the last complete record with no error.
+func TestTornTailStopsCleanly(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items[:800])
+	a.Close()
+
+	seg := filepath.Join(dir, walName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	// Chop the last record roughly in half, leaving no trailing newline.
+	lastNL := bytes.LastIndexByte(data[:len(data)-1], '\n')
+	cut := lastNL + (len(data)-lastNL)/2
+	if err := os.WriteFile(seg, data[:cut], 0o644); err != nil {
+		t.Fatalf("truncate segment: %v", err)
+	}
+
+	b := core.New(testConfig(2))
+	defer b.Close()
+	pos, err := Recover(dir, b)
+	if err != nil {
+		t.Fatalf("Recover with torn tail: %v", err)
+	}
+	if pos != 799 {
+		t.Fatalf("recovered position = %d, want 799 (torn record dropped)", pos)
+	}
+	mustEqualState(t, reference(items, 799, 2), b)
+}
+
+// TestSequenceGapIsStrictError deletes a middle WAL record: strict
+// recovery must refuse, the attach path must keep the trustworthy prefix
+// and surface a warning.
+func TestSequenceGapIsStrictError(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items[:600])
+	a.Close()
+
+	seg := filepath.Join(dir, walName(0))
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatalf("read segment: %v", err)
+	}
+	lines := bytes.SplitAfter(data, []byte{'\n'})
+	// Drop record 301 (index 300), keeping everything after it.
+	mut := append(append([]byte(nil), bytes.Join(lines[:300], nil)...), bytes.Join(lines[301:], nil)...)
+	if err := os.WriteFile(seg, mut, 0o644); err != nil {
+		t.Fatalf("rewrite segment: %v", err)
+	}
+
+	strict := core.New(testConfig(2))
+	defer strict.Close()
+	if _, err := Recover(dir, strict); err == nil || !strings.Contains(err.Error(), "sequence gap") {
+		t.Fatalf("strict Recover over a gap = %v, want sequence-gap error", err)
+	}
+
+	b := core.New(durableConfig(testConfig(2), dir))
+	defer b.Close()
+	if got := b.DocsProcessed(); got != 300 {
+		t.Fatalf("graceful recovery kept %d docs, want the 300-doc prefix", got)
+	}
+	st, ok := b.DurabilityStats()
+	if !ok || !strings.Contains(st.LastErr, "sequence gap") {
+		t.Fatalf("graceful recovery did not surface the gap: ok=%v lastErr=%q", ok, st.LastErr)
+	}
+	mustEqualState(t, reference(items, 300, 2), b)
+}
+
+// TestFingerprintMismatch writes a snapshot under one semantic
+// configuration and recovers under another: strict mode errors, and the
+// error names the configuration, not a decoding failure.
+func TestFingerprintMismatch(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items[:500])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	a.Close()
+
+	cfg := testConfig(2)
+	cfg.WindowBuckets = 12 // semantic change: different window geometry
+	b := core.New(cfg)
+	defer b.Close()
+	if _, err := Recover(dir, b); err == nil || !strings.Contains(err.Error(), "configuration") {
+		t.Fatalf("Recover across configs = %v, want configuration error", err)
+	}
+}
+
+// TestCorruptSnapshotFallsBack flips bytes in the newest snapshot: the
+// attach path must fall back to the previous generation plus WAL replay
+// and still recover the full stream position.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(testConfig(2), dir))
+	a.ConsumeBatch(items[:400])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot 1: %v", err)
+	}
+	a.ConsumeBatch(items[400:900])
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot 2: %v", err)
+	}
+	a.ConsumeBatch(items[900:1100])
+	a.Close()
+
+	snap := filepath.Join(dir, snapName(900))
+	data, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatalf("read snapshot: %v", err)
+	}
+	for i := len(data) / 2; i < len(data)/2+8 && i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+	if err := os.WriteFile(snap, data, 0o644); err != nil {
+		t.Fatalf("corrupt snapshot: %v", err)
+	}
+
+	b := core.New(durableConfig(testConfig(2), dir))
+	defer b.Close()
+	if got, want := b.DocsProcessed(), int64(1100); got != want {
+		t.Fatalf("recovered %d docs, want %d (older snapshot + full WAL tail)", got, want)
+	}
+	st, _ := b.DurabilityStats()
+	if !strings.Contains(st.LastErr, "checksum") && !strings.Contains(st.LastErr, "corrupt") {
+		t.Fatalf("fallback did not surface the corruption: lastErr=%q", st.LastErr)
+	}
+	mustEqualState(t, reference(items, 1100, 2), b)
+}
+
+// TestPruneRetainsRecoverableSet takes several snapshots with
+// KeepSnapshots=1 and checks that pruning never removes files recovery
+// still needs.
+func TestPruneRetainsRecoverableSet(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	cfg := durableConfig(testConfig(2), dir)
+	cfg.Durability.KeepSnapshots = 1
+	a := core.New(cfg)
+	for _, cutoff := range []int{300, 600, 900} {
+		a.ConsumeBatch(items[a.DocsProcessed():int64(cutoff)])
+		if err := a.Snapshot(); err != nil {
+			t.Fatalf("Snapshot at %d: %v", cutoff, err)
+		}
+	}
+	a.ConsumeBatch(items[900:1000])
+	a.Close()
+
+	if snaps := listEpochs(dir, snapPrefix, snapSuffix); len(snaps) != 1 || snaps[0] != 900 {
+		t.Fatalf("kept snapshots %v, want [900]", snaps)
+	}
+	for _, seg := range listEpochs(dir, walPrefix, walSuffix) {
+		if seg < 900 {
+			t.Fatalf("segment %d survived pruning below the kept snapshot", seg)
+		}
+	}
+
+	b := core.New(durableConfig(testConfig(2), dir))
+	defer b.Close()
+	if got := b.DocsProcessed(); got != 1000 {
+		t.Fatalf("recovered %d docs after pruning, want 1000", got)
+	}
+	mustEqualState(t, reference(items, 1000, 2), b)
+}
+
+// TestStatsSurface sanity-checks the DurabilityStats wiring end to end.
+func TestStatsSurface(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	e := core.New(durableConfig(testConfig(2), dir))
+	defer e.Close()
+	e.ConsumeBatch(items[:200])
+	if err := e.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	e.ConsumeBatch(items[200:300])
+	st, ok := e.DurabilityStats()
+	if !ok {
+		t.Fatal("DurabilityStats: durability not attached")
+	}
+	if st.SnapshotEpoch != 200 {
+		t.Errorf("SnapshotEpoch = %d, want 200", st.SnapshotEpoch)
+	}
+	if st.WALSegments == 0 || st.WALBytes == 0 {
+		t.Errorf("WAL sizing empty: segments=%d bytes=%d", st.WALSegments, st.WALBytes)
+	}
+	if st.LastSnapshotAt.IsZero() {
+		t.Error("LastSnapshotAt is zero after a successful snapshot")
+	}
+	if st.LastErr != "" {
+		t.Errorf("LastErr = %q, want clean", st.LastErr)
+	}
+
+	plain := core.New(testConfig(1))
+	defer plain.Close()
+	if _, ok := plain.DurabilityStats(); ok {
+		t.Error("DurabilityStats reported ok on a non-durable engine")
+	}
+	if err := plain.Snapshot(); err != core.ErrNoDurability {
+		t.Errorf("Snapshot on non-durable engine = %v, want ErrNoDurability", err)
+	}
+}
+
+// TestWALRecordRoundTrip pins the hand-rolled encoder against the decoder
+// across the field shapes the engine emits.
+func TestWALRecordRoundTrip(t *testing.T) {
+	cases := []*stream.Item{
+		{Time: time.Unix(0, 1234567890).UTC()},
+		{Time: time.Unix(1700000000, 42).UTC(), DocID: "doc-1", Tags: []string{"a", "b"}},
+		{Time: time.Unix(0, 7).UTC(), Tags: []string{"x"}, Entities: []string{"Athens", "SIGMOD"},
+			Text: "quote \" backslash \\ newline \n tab \t control \x01 done", Source: "feed"},
+		{Time: time.Unix(0, -5).UTC(), DocID: "päivä 🎈", Tags: []string{"ünïcode"}},
+	}
+	for i, it := range cases {
+		line := appendWALRecord(nil, int64(i+1), it)
+		seq, got, err := decodeWALLine(line)
+		if err != nil {
+			t.Fatalf("case %d: decode: %v (line %q)", i, err, line)
+		}
+		if seq != int64(i+1) {
+			t.Fatalf("case %d: seq = %d, want %d", i, seq, i+1)
+		}
+		if !got.Time.Equal(it.Time) || got.DocID != it.DocID || got.Text != it.Text || got.Source != it.Source {
+			t.Fatalf("case %d: round trip mismatch:\n got  %+v\n want %+v", i, got, it)
+		}
+		if len(got.Tags) != len(it.Tags) || len(got.Entities) != len(it.Entities) {
+			t.Fatalf("case %d: slice lengths diverge:\n got  %+v\n want %+v", i, got, it)
+		}
+		for j := range it.Tags {
+			if got.Tags[j] != it.Tags[j] {
+				t.Fatalf("case %d: tag %d = %q, want %q", i, j, got.Tags[j], it.Tags[j])
+			}
+		}
+	}
+}

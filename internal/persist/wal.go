@@ -1,0 +1,137 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"time"
+
+	"enblogue/internal/stream"
+)
+
+// The write-ahead log is JSONL: one object per consumed document,
+//
+//	{"seq":N,"t":<unix nanos>,"id":"...","tags":[...],"entities":[...],"text":"...","src":"..."}
+//
+// with empty fields omitted. seq is the document's 1-based stream position
+// (DocsProcessed after counting it); records within a segment are strictly
+// seq-ascending and contiguous. The append encoder is hand-rolled so the
+// steady-state ingest path allocates nothing per document: it appends into a
+// reusable buffer that is handed to the file in a single Write.
+
+// appendWALRecord appends one record line (terminating newline included).
+func appendWALRecord(b []byte, seq int64, it *stream.Item) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, seq, 10)
+	b = append(b, `,"t":`...)
+	b = strconv.AppendInt(b, it.Time.UnixNano(), 10)
+	if it.DocID != "" {
+		b = append(b, `,"id":`...)
+		b = appendJSONString(b, it.DocID)
+	}
+	b = appendStrArray(b, `,"tags":`, it.Tags)
+	b = appendStrArray(b, `,"entities":`, it.Entities)
+	if it.Text != "" {
+		b = append(b, `,"text":`...)
+		b = appendJSONString(b, it.Text)
+	}
+	if it.Source != "" {
+		b = append(b, `,"src":`...)
+		b = appendJSONString(b, it.Source)
+	}
+	return append(b, "}\n"...)
+}
+
+func appendStrArray(b []byte, prefix string, vals []string) []byte {
+	if len(vals) == 0 {
+		return b
+	}
+	b = append(b, prefix...)
+	b = append(b, '[')
+	for i, v := range vals {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, v)
+	}
+	return append(b, ']')
+}
+
+const hexDigits = "0123456789abcdef"
+
+// appendJSONString appends s as a JSON string literal. Only the characters
+// JSON requires escaped are escaped (backslash, quote, controls); valid
+// UTF-8 passes through byte-for-byte, and invalid UTF-8 is passed through
+// too — encoding/json on the decode side replaces it, which is acceptable
+// for tag text and keeps the encoder allocation-free.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 0x20 && c != '"' && c != '\\' {
+			continue
+		}
+		b = append(b, s[start:i]...)
+		switch c {
+		case '"', '\\':
+			b = append(b, '\\', c)
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		case '\t':
+			b = append(b, '\\', 't')
+		default:
+			b = append(b, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xf])
+		}
+		start = i + 1
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
+}
+
+// walRecord is the decode-side shape of one WAL line.
+type walRecord struct {
+	Seq      int64    `json:"seq"`
+	T        int64    `json:"t"`
+	ID       string   `json:"id"`
+	Tags     []string `json:"tags"`
+	Entities []string `json:"entities"`
+	Text     string   `json:"text"`
+	Src      string   `json:"src"`
+}
+
+// decodeWALLine parses one WAL line into (seq, item). Arbitrary bytes
+// return an error, never panic. Replay is not a hot path, so the standard
+// JSON decoder is fine here.
+func decodeWALLine(line []byte) (int64, *stream.Item, error) {
+	line = bytes.TrimSpace(line)
+	if len(line) == 0 {
+		return 0, nil, fmt.Errorf("persist: empty WAL line")
+	}
+	var rec walRecord
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rec); err != nil {
+		return 0, nil, fmt.Errorf("persist: bad WAL line: %w", err)
+	}
+	if rec.Seq <= 0 {
+		return 0, nil, fmt.Errorf("persist: bad WAL line: seq %d", rec.Seq)
+	}
+	it := &stream.Item{
+		Time:     nanoTime(rec.T),
+		DocID:    rec.ID,
+		Tags:     rec.Tags,
+		Entities: rec.Entities,
+		Text:     rec.Text,
+		Source:   rec.Src,
+	}
+	return rec.Seq, it, nil
+}
+
+// nanoTime converts unix nanos to a UTC time.Time. The engine compares
+// event times by wall clock only, so the location-normalized round trip is
+// exact for everything the engine observes.
+func nanoTime(n int64) time.Time { return time.Unix(0, n).UTC() }

@@ -417,6 +417,10 @@ type StatsView struct {
 	MatchedLastTick int64     `json:"matchedLastTick"`
 	IngestDepth     int       `json:"ingestDepth"`
 	IngestDropped   int64     `json:"ingestDropped"`
+	SnapshotEpoch   int64     `json:"snapshotEpoch"`
+	WALSegments     int       `json:"walSegments"`
+	WALBytes        int64     `json:"walBytes"`
+	LastSnapshotAt  time.Time `json:"lastSnapshotAt"`
 	Tenant          string    `json:"tenant"`
 	Uptime          float64   `json:"uptime"`
 }
@@ -595,6 +599,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		view.MatchedLastTick = e.MatchedLastTick()
 		view.IngestDepth = e.IngestDepth()
 		view.IngestDropped = e.IngestDropped()
+		// Durability is optional (both on the engine build and in the Engine
+		// interface, which predates it), so it is surfaced via assertion:
+		// engines without persistence report zero values.
+		if d, ok := e.(interface {
+			DurabilityStats() (core.DurabilityStats, bool)
+		}); ok {
+			if ds, on := d.DurabilityStats(); on {
+				view.SnapshotEpoch = ds.SnapshotEpoch
+				view.WALSegments = ds.WALSegments
+				view.WALBytes = ds.WALBytes
+				view.LastSnapshotAt = ds.LastSnapshotAt
+			}
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	if err := json.NewEncoder(w).Encode(view); err != nil {

@@ -1,0 +1,118 @@
+package shift
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"enblogue/internal/pairs"
+	"enblogue/internal/predict"
+	"enblogue/internal/window"
+)
+
+// This file is the shift detector's durability surface. Exports are
+// canonical — pairs sorted by Key.Compare across all shards — and restores
+// re-partition by the restoring Sharded's own shard count, so detector state
+// snapshotted at one shard count restores into any other. The slot-hint
+// cache (bySlot) and sweep deadline cache (keepUntilNano) are rebuildable
+// and deliberately not part of the state: a restored detector repopulates
+// them on first use with identical semantics.
+
+// PairDetState is one pair's exported detector state.
+type PairDetState struct {
+	Key      pairs.Key
+	Decay    window.DecayState
+	SeenNano int64
+	Pred     predict.State
+}
+
+// DetectorState is the full serializable state of a Sharded detector (or a
+// single Detector, which is the one-shard case).
+type DetectorState struct {
+	Pairs       []PairDetState // sorted by Key.Compare
+	CurTickNano int64
+	TickCount   int64
+}
+
+// exportPairs appends every live slab entry's state to out, in slot order.
+func (d *Detector) exportPairs(out []PairDetState) []PairDetState {
+	for i := range d.states {
+		st := &d.states[i]
+		if st.key == (pairs.Key{}) {
+			continue
+		}
+		ps := PairDetState{Key: st.key, Decay: st.decay.ExportState(), SeenNano: st.seenNano}
+		if d.useNaive {
+			ps.Pred = predict.Export(&st.naive)
+		} else {
+			ps.Pred = predict.Export(d.preds[i])
+		}
+		out = append(out, ps)
+	}
+	return out
+}
+
+// RestorePair loads one pair's detector state, allocating its slab entry.
+// The pair must not already have state.
+func (d *Detector) RestorePair(k pairs.Key, dec window.DecayState, seenNano int64, pred predict.State) error {
+	if k == (pairs.Key{}) {
+		return errors.New("shift: restore of a zero pair key")
+	}
+	if _, exists := d.index[k]; exists {
+		return fmt.Errorf("shift: duplicate pair %s in restore state", k)
+	}
+	st, i := d.alloc(k)
+	st.decay.RestoreState(dec)
+	st.seenNano = seenNano
+	if d.useNaive {
+		return predict.Restore(&st.naive, pred)
+	}
+	return predict.Restore(d.preds[i], pred)
+}
+
+// setClock overwrites the detector's evaluation-round clock.
+func (d *Detector) setClock(curTickNano int64, tickCount int) {
+	d.curTickNano = curTickNano
+	d.tickCount = tickCount
+}
+
+// ExportState returns the sharded detector's full state with pairs sorted by
+// Key.Compare. The round clock is taken as the maximum across shards; the
+// engine keeps shard clocks in lockstep (BeginTick), so under engine use
+// every shard agrees with the exported value.
+func (s *Sharded) ExportState() DetectorState {
+	var st DetectorState
+	st.CurTickNano = s.dets[0].curTickNano
+	st.TickCount = int64(s.dets[0].tickCount)
+	for _, d := range s.dets {
+		if d.curTickNano > st.CurTickNano {
+			st.CurTickNano = d.curTickNano
+		}
+		if int64(d.tickCount) > st.TickCount {
+			st.TickCount = int64(d.tickCount)
+		}
+		st.Pairs = d.exportPairs(st.Pairs)
+	}
+	sort.Slice(st.Pairs, func(i, j int) bool { return st.Pairs[i].Key.Less(st.Pairs[j].Key) })
+	return st
+}
+
+// RestoreState loads st into an empty sharded detector, assigning each pair
+// to the shard its key hashes to and setting every shard's round clock to
+// the exported value (restoring the lockstep invariant).
+func (s *Sharded) RestoreState(st DetectorState) error {
+	if s.ActiveStates() != 0 {
+		return errors.New("shift: restore into a non-empty detector")
+	}
+	n := len(s.dets)
+	for _, p := range st.Pairs {
+		d := s.dets[p.Key.Shard(n)]
+		if err := d.RestorePair(p.Key, p.Decay, p.SeenNano, p.Pred); err != nil {
+			return err
+		}
+	}
+	for _, d := range s.dets {
+		d.setClock(st.CurTickNano, int(st.TickCount))
+	}
+	return nil
+}

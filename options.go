@@ -175,3 +175,49 @@ func WithIngestFlushInterval(d time.Duration) Option {
 func WithIngestDropOldest() Option {
 	return func(c *core.Config) { c.IngestDropOldest = true }
 }
+
+// DurabilityOption tunes the persistence layer enabled by WithDurability.
+type DurabilityOption func(*core.DurabilityConfig)
+
+// WithDurability enables snapshot + write-ahead-log persistence rooted at
+// dir: prior state in dir is recovered during New (newest valid snapshot
+// plus WAL replay, bit-identical to an engine that never stopped), every
+// consumed document is appended to the WAL, and snapshots are written on a
+// background ticker and via Engine.Snapshot. On a Hub, each tenant persists
+// under its own subdirectory of dir. The directory is created if missing.
+func WithDurability(dir string, opts ...DurabilityOption) Option {
+	return func(c *core.Config) {
+		c.Durability.Dir = dir
+		for _, o := range opts {
+			if o != nil {
+				o(&c.Durability)
+			}
+		}
+	}
+}
+
+// SnapshotEvery sets the background snapshot period (default one minute).
+// Negative disables the ticker; snapshots then happen only via
+// Engine.Snapshot and the WAL alone carries recovery.
+func SnapshotEvery(d time.Duration) DurabilityOption {
+	return func(c *core.DurabilityConfig) { c.SnapshotEvery = d }
+}
+
+// Fsync selects the WAL flush policy (default FsyncInterval: at most one
+// sync per second, so a process crash loses nothing and a power loss at
+// most one interval).
+func Fsync(m FsyncMode) DurabilityOption {
+	return func(c *core.DurabilityConfig) { c.Fsync = m }
+}
+
+// FsyncEvery sets the FsyncInterval period (default one second).
+func FsyncEvery(d time.Duration) DurabilityOption {
+	return func(c *core.DurabilityConfig) { c.FsyncEvery = d }
+}
+
+// KeepSnapshots sets how many snapshot generations to retain (default 2);
+// older snapshots and the WAL segments they cover are pruned after each
+// successful snapshot.
+func KeepSnapshots(n int) DurabilityOption {
+	return func(c *core.DurabilityConfig) { c.KeepSnapshots = n }
+}

@@ -10,11 +10,13 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-# The default matrix records both ingest throughput (BenchmarkThroughput*)
-# and subscription-dispatch cost (BenchmarkBroadcastSubscribers: population
+# The default matrix records ingest throughput (BenchmarkThroughput*),
+# subscription-dispatch cost (BenchmarkBroadcastSubscribers: population
 # × matched-fraction; the 1%-matched column must stay ≥10× cheaper than
-# 100%-matched).
-bench="${1:-BenchmarkThroughput|BenchmarkBroadcastSubscribers}"
+# 100%-matched), and the durability costs (BenchmarkWALAppend: ingest with
+# the WAL off vs. on; BenchmarkSnapshotRestore: snapshot write and full
+# recovery).
+bench="${1:-BenchmarkThroughput|BenchmarkBroadcastSubscribers|BenchmarkWALAppend|BenchmarkSnapshotRestore}"
 out="BENCH_$(date -u +%F).json"
 # Never clobber an existing (possibly committed, possibly hand-annotated)
 # record: same-day reruns get a time-suffixed file instead.
