@@ -42,6 +42,9 @@ type (
 	Notification = core.Notification
 	// SubOption configures one subscription.
 	SubOption = core.SubOption
+	// TailStats is the tiered exact/sketch memory statistics view; see
+	// Engine.TailStats and WithTailSketch.
+	TailStats = core.TailStats
 	// Measure selects the pair correlation measure.
 	Measure = pairs.Measure
 	// Predictor selects the correlation forecaster whose error is the
@@ -267,6 +270,11 @@ func (e *Engine) ActivePairs() int { return e.core.ActivePairs() }
 
 // Shards returns the number of engine shards.
 func (e *Engine) Shards() int { return e.core.Shards() }
+
+// TailStats returns the tiered exact/sketch memory statistics: tail size
+// and error bound, promotion and eviction counters. The per-shard eviction
+// counters are live even without WithTailSketch (Enabled reports false).
+func (e *Engine) TailStats() TailStats { return e.core.TailStats() }
 
 // LastEventTime returns the newest event timestamp consumed so far (zero
 // before the first document).

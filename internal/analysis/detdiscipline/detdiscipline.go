@@ -36,6 +36,8 @@ var Packages = map[string]bool{
 	"enblogue/internal/window":   true,
 	"enblogue/internal/tagstats": true,
 	"enblogue/internal/intern":   true,
+	"enblogue/internal/sketch":   true,
+	"enblogue/internal/tier":     true,
 }
 
 // Analyzer is the detdiscipline analyzer.

@@ -117,3 +117,34 @@ func (p *P) EngineUnderWAL() {
 	p.mu.Unlock()
 	p.walMu.Unlock()
 }
+
+// M mirrors the tiered-memory hierarchy (pairsSweep 40 < tier 45 <
+// pairsShard 50).
+type M struct {
+	//enblogue:lock pairsSweep 40
+	sweepMu sync.Mutex
+	//enblogue:lock tier 45
+	tmu sync.Mutex
+	//enblogue:lock pairsShard 50
+	mu sync.Mutex
+}
+
+// DemoteUnderShard feeds the tail while still holding a shard lock: the
+// inversion-free but deadlock-prone shape sweepLocked must never commit —
+// the tier lock is class 45, below the shard's 50.
+func (m *M) DemoteUnderShard() {
+	m.mu.Lock()
+	m.tmu.Lock() // want `lock order violation: acquiring "tier" \(order 45\) while holding "pairsShard" \(order 50\)`
+	m.tmu.Unlock()
+	m.mu.Unlock()
+}
+
+// SweepUnderTier starts a sweep from inside the tail: promotion must read
+// candidates and release the tier lock before ever reaching the sweep
+// serializer.
+func (m *M) SweepUnderTier() {
+	m.tmu.Lock()
+	m.sweepMu.Lock() // want `lock order violation: acquiring "pairsSweep" \(order 40\) while holding "tier" \(order 45\)`
+	m.sweepMu.Unlock()
+	m.tmu.Unlock()
+}

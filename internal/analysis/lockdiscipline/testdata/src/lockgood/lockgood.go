@@ -147,3 +147,50 @@ func (p *P) Record() {
 	p.walMu.Unlock()
 	p.mu.Unlock()
 }
+
+// M mirrors the tiered-memory hierarchy introduced with the exact/sketch
+// tail: the sweep serializer (pairsSweep 40) is outermost, the tail's tier
+// lock (tier 45) sits between it and the per-shard counter locks
+// (pairsShard 50). Demotion runs sweep → tier with no shard lock held;
+// promotion runs tier → shard, ascending.
+type M struct {
+	//enblogue:lock pairsSweep 40
+	sweepMu sync.Mutex
+	//enblogue:lock tier 45
+	tmu sync.Mutex
+	//enblogue:lock pairsShard 50
+	mu   sync.Mutex
+	tail int
+}
+
+// Demote is the eviction shape: victims are collected and dropped under
+// the shard lock, the shard lock is released, then the tail absorbs them
+// under the tier lock — sweep and tier never overlap a shard hold.
+//
+//enblogue:acquires pairsSweep
+//enblogue:acquires pairsShard
+//enblogue:acquires tier
+func (m *M) Demote() {
+	m.sweepMu.Lock()
+	defer m.sweepMu.Unlock()
+	m.mu.Lock()
+	_ = m.tail
+	m.mu.Unlock()
+	m.tmu.Lock()
+	m.tail++
+	m.tmu.Unlock()
+}
+
+// Promote is the readmission shape: candidates are read under the tier
+// lock, released, then seeded into the exact tier under each shard lock —
+// ascending class order even when the holds do overlap.
+//
+//enblogue:acquires tier
+//enblogue:acquires pairsShard
+func (m *M) Promote() {
+	m.tmu.Lock()
+	m.mu.Lock()
+	m.tail--
+	m.mu.Unlock()
+	m.tmu.Unlock()
+}

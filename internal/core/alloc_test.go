@@ -93,6 +93,36 @@ func TestConsumeSteadyStateAllocsSharded(t *testing.T) {
 	}
 }
 
+// With the tiered sketch tail enabled and eviction pressure live — the
+// pair budget is below the workload's pair count, so sweeps demote and
+// promotions re-admit continuously — ingest must stay within the
+// one-allocation-per-document acceptance bound. Demotion itself (sketch
+// ingest, summary upkeep) is allocation-free; the residual budget covers
+// the sweep's amortized victim collection.
+func TestConsumeSteadyStateAllocsTailSketch(t *testing.T) {
+	skipUnderRace(t)
+	cfg := testConfig()
+	cfg.Shards = 2
+	cfg.TickEvery = 1000 * time.Hour
+	cfg.MaxPairs = 40 // allocWorkload carries 71 distinct pairs
+	cfg.TailSketch = TailSketchConfig{Enabled: true, Epsilon: 0.01, Delta: 0.01, TopK: 64}
+	e := New(cfg)
+	items := allocWorkload(100)
+	for range [3]int{} {
+		for _, it := range items {
+			e.Consume(it)
+		}
+	}
+	avg := testing.AllocsPerRun(50, func() {
+		for _, it := range items {
+			e.Consume(it)
+		}
+	})
+	if avg > float64(len(items)) {
+		t.Errorf("tail-enabled Consume allocates %.1f per %d docs, want ≤1/doc", avg, len(items))
+	}
+}
+
 func TestConsumeBatchSteadyStateAllocs(t *testing.T) {
 	skipUnderRace(t)
 	for _, shards := range []int{1, 4} {

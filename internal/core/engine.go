@@ -33,6 +33,7 @@ import (
 	"enblogue/internal/shift"
 	"enblogue/internal/stream"
 	"enblogue/internal/tagstats"
+	"enblogue/internal/tier"
 )
 
 // Config parameterises an Engine. The zero value is usable: it yields the
@@ -63,6 +64,16 @@ type Config struct {
 
 	// MaxPairs caps tracked candidate pairs. Zero means 100000.
 	MaxPairs int
+
+	// TailSketch enables the tiered exact/sketch memory model: pairs
+	// evicted over MaxPairs are demoted into a per-shard windowed Count-Min
+	// sketch + heavy-hitter summary (internal/tier) instead of being
+	// forgotten, and are promoted back — counters seeded from the
+	// upper-bound estimate, flagged approximate — when their estimate
+	// crosses the admission floor at tick time. Disabled by default;
+	// rankings with it disabled are bit-identical to engines built before
+	// the tier existed.
+	TailSketch TailSketchConfig
 
 	// Shards partitions the pair space for concurrent tracking and
 	// parallel tick evaluation. Rankings do not depend on the shard count
@@ -123,6 +134,24 @@ type Config struct {
 	Durability DurabilityConfig
 }
 
+// TailSketchConfig parameterises the cold tier under the exact pair
+// tracker; see Config.TailSketch and internal/tier.
+type TailSketchConfig struct {
+	// Enabled turns the tier on. The remaining fields are ignored (and the
+	// engine matches pre-tier behaviour exactly) when false.
+	Enabled bool
+	// Epsilon is the Count-Min additive-error fraction: tail estimates
+	// exceed true windowed tail mass by at most Epsilon × N with
+	// probability 1−Delta. Zero or out-of-range means 0.01.
+	Epsilon float64
+	// Delta is the Count-Min failure probability. Zero or out-of-range
+	// means 0.01.
+	Delta float64
+	// TopK is the per-shard heavy-hitter summary capacity — the maximum
+	// number of promotion candidates remembered per shard. Zero means 512.
+	TopK int
+}
+
 // normalize is the single place nonsensical configurations are repaired:
 // zero and negative settings fall back to the paper's defaults, and
 // mutually wedging combinations are clamped (a pair budget smaller than the
@@ -177,6 +206,21 @@ func (c Config) normalize() Config {
 	}
 	if c.IngestFlushInterval <= 0 {
 		c.IngestFlushInterval = 2 * time.Millisecond
+	}
+	if c.TailSketch.Enabled {
+		if c.TailSketch.Epsilon <= 0 || c.TailSketch.Epsilon >= 1 {
+			c.TailSketch.Epsilon = 0.01
+		}
+		if c.TailSketch.Delta <= 0 || c.TailSketch.Delta >= 1 {
+			c.TailSketch.Delta = 0.01
+		}
+		if c.TailSketch.TopK < 1 {
+			c.TailSketch.TopK = 512
+		}
+	} else {
+		// A disabled tier carries no settings: the zero value is part of
+		// the snapshot-fingerprint identity of every pre-tier engine.
+		c.TailSketch = TailSketchConfig{}
 	}
 	return c
 }
@@ -299,6 +343,14 @@ func New(cfg Config) *Engine {
 	// tracker cache resolved IDs per slot spares the evaluation tick one
 	// string hash per active tag (see tagstats.SetTagIDResolver).
 	tags.SetTagIDResolver(intern.Find)
+	var tailCfg *tier.Config
+	if c.TailSketch.Enabled {
+		tailCfg = &tier.Config{
+			Epsilon: c.TailSketch.Epsilon,
+			Delta:   c.TailSketch.Delta,
+			TopK:    c.TailSketch.TopK,
+		}
+	}
 	e := &Engine{
 		dist:   dist,
 		cfg:    c,
@@ -310,6 +362,7 @@ func New(cfg Config) *Engine {
 			Resolution: c.WindowResolution,
 			MaxPairs:   c.MaxPairs,
 			Shards:     c.Shards,
+			Tail:       tailCfg,
 		}),
 		det: shift.NewSharded(c.Shards, shift.Config{
 			Measure:         c.Measure,
@@ -336,6 +389,14 @@ func (e *Engine) DocsProcessed() int64 { return e.docs.Load() }
 
 // ActivePairs returns the number of tracked candidate pairs.
 func (e *Engine) ActivePairs() int { return e.pairsTr.ActivePairs() }
+
+// TailStats is the tiered-memory statistics view; see pairs.TailStats.
+type TailStats = pairs.TailStats
+
+// TailStats returns the cold-tier and eviction statistics. The per-shard
+// eviction counters are live even with the tier disabled (Enabled false,
+// tier fields zero).
+func (e *Engine) TailStats() TailStats { return e.pairsTr.TailStats() }
 
 // Shards returns the number of engine shards.
 func (e *Engine) Shards() int { return e.pairsTr.Shards() }
@@ -915,6 +976,15 @@ func (e *Engine) tickLocked(t time.Time) Ranking {
 		seeds = e.seeds.Reselect(e.tags)
 		dists = e.dist.Snapshot()
 	}
+
+	// Promote tail-tier pairs whose estimates crossed the admission floor
+	// before taking evaluation snapshots, so a re-admitted pair is scored
+	// in this same tick. No-op while the tail sketch is disabled. Runs at
+	// tick time, not ingest time: promotion scans the per-shard summaries,
+	// which would be wasted work on the per-document path, and tick
+	// boundaries are event-time deterministic, so promotion points replay
+	// identically.
+	e.pairsTr.PromoteTail(t)
 
 	// Snapshot every shard's pairs first, then decide the round advance
 	// from the snapshots themselves: the workers evaluate exactly these

@@ -75,6 +75,7 @@ func getBatchScratch(n int) *batchScratch {
 //
 //enblogue:acquires pairsShard
 //enblogue:acquires pairsSweep
+//enblogue:acquires tier
 //enblogue:hotpath
 func (tr *ShardedTracker) ObserveBatch(docs []BatchDoc, isSeed func(string) bool) {
 	if len(docs) == 0 {

@@ -1,11 +1,14 @@
 package pairs
 
 import (
+	"math"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"enblogue/internal/intern"
+	"enblogue/internal/tier"
 	"enblogue/internal/window"
 )
 
@@ -37,6 +40,19 @@ type trackerShard struct {
 	// instead of a map iteration; slot order is insertion-stable across
 	// ticks, which also keeps downstream detector-state access sequential.
 	keys []Key
+	// approx maps pairs whose counters were seeded from a tail-tier sketch
+	// estimate at promotion (upper bounds, not exact counts) to the seeded
+	// amount. The sweep subtracts the seed when such a pair is re-evicted:
+	// the seed's mass never left the Count-Min sketch, so re-demoting it
+	// would compound the estimate on every promote→evict cycle. Nil until
+	// the first promotion; guarded by mu; entries are cleared when the pair
+	// is dropped.
+	approx map[Key]float64
+	// evicted counts lifetime over-budget evictions from this shard;
+	// demoted counts those absorbed by the tail tier (equal to evicted
+	// while the tier is enabled, zero when disabled).
+	evicted atomic.Int64
+	demoted atomic.Int64
 }
 
 // ShardedTracker is the concurrent counterpart of Tracker: the pair space is
@@ -64,6 +80,36 @@ type ShardedTracker struct {
 	//
 	//enblogue:lock pairsSweep 40
 	sweepMu sync.Mutex
+
+	// tails is the cold tier, one Tail per shard (nil when disabled): the
+	// sweep demotes every over-budget eviction victim into its shard's
+	// tail, and PromoteTail re-admits tail pairs whose estimates cross the
+	// admission floor. Each Tail carries its own mutex (lockdiscipline
+	// class tier, order 45) — demotion locks it after every shard lock has
+	// been released (holding only sweepMu, 40 < 45) and promotion locks it
+	// before taking shard locks (45 < 50), both ascending.
+	tails []*tier.Tail
+	// floorBits is the admission floor as float64 bits: the windowed count
+	// of the largest pair the last over-budget sweep evicted. A tail pair
+	// must beat it to be promoted — i.e. its estimate must show it would
+	// have survived that eviction.
+	floorBits atomic.Uint64
+	// promotions counts lifetime tail→exact promotions.
+	promotions atomic.Int64
+	// onEvict, when set via SetOnEvict, observes every over-budget
+	// eviction with the victim's windowed count — the test seam for
+	// cross-validating tail estimates against exact ground truth. Called
+	// under sweepMu with no shard lock held.
+	onEvict func(Key, float64)
+	// sweepAll and sweepVictims are the over-budget sweep's ranking and
+	// victim buffers, reused across sweeps so a tracker under sustained
+	// eviction pressure does not allocate per sweep. Guarded by sweepMu.
+	sweepAll     []counted[Key]
+	sweepVictims []counted[Key]
+	// sweepSeeds[i] is the sketch-seeded portion of sweepVictims[i]'s
+	// counter (zero for pairs never promoted), captured under the shard
+	// lock at drop time for the demotion pass. Guarded by sweepMu.
+	sweepSeeds []float64
 }
 
 // NewShardedTracker returns a sharded pair tracker. cfg.Shards <= 1 yields a
@@ -81,7 +127,29 @@ func NewShardedTracker(cfg Config) *ShardedTracker {
 			arena: window.NewCounterArena(c.Buckets, c.Resolution),
 		}
 	}
-	return &ShardedTracker{cfg: c, shards: shards}
+	tr := &ShardedTracker{cfg: c, shards: shards}
+	if c.Tail != nil {
+		tcfg := *c.Tail
+		tcfg.Span = int64(c.Buckets) * int64(c.Resolution)
+		tr.tails = make([]*tier.Tail, n)
+		for i := range tr.tails {
+			tr.tails[i] = tier.New(tcfg)
+		}
+	}
+	return tr
+}
+
+// SetOnEvict installs the eviction observer; see the field doc. Must be
+// set before the first Observe.
+func (tr *ShardedTracker) SetOnEvict(fn func(Key, float64)) { tr.onEvict = fn }
+
+// TailEnabled reports whether the cold tier is active.
+func (tr *ShardedTracker) TailEnabled() bool { return tr.tails != nil }
+
+// floor returns the current admission floor (0 until the first
+// over-budget eviction).
+func (tr *ShardedTracker) floor() float64 {
+	return math.Float64frombits(tr.floorBits.Load())
 }
 
 // Shards returns the number of shards.
@@ -148,6 +216,7 @@ func getScratch(n int) *observeScratch {
 //
 //enblogue:acquires pairsShard
 //enblogue:acquires pairsSweep
+//enblogue:acquires tier
 //enblogue:hotpath
 func (tr *ShardedTracker) Observe(t time.Time, tags []string, isSeed func(string) bool) {
 	tr.advanceNow(t)
@@ -253,6 +322,7 @@ func (tr *ShardedTracker) incLockedAbs(sh *trackerShard, k Key, abs int64) {
 //enblogue:requires pairsShard
 func (tr *ShardedTracker) dropLocked(sh *trackerShard, k Key, slot int32) {
 	delete(sh.slots, k)
+	delete(sh.approx, k)
 	sh.keys[slot] = Key{}
 	sh.arena.Release(slot)
 	tr.npairs.Add(-1)
@@ -270,6 +340,8 @@ func (tr *ShardedTracker) sweepDue() bool {
 // ranked globally across all shards. Safe for concurrent use.
 //
 //enblogue:acquires pairsSweep
+//enblogue:acquires pairsShard
+//enblogue:acquires tier
 func (tr *ShardedTracker) Sweep() {
 	tr.sweepMu.Lock()
 	defer tr.sweepMu.Unlock()
@@ -280,6 +352,7 @@ func (tr *ShardedTracker) Sweep() {
 //
 //enblogue:requires pairsSweep
 //enblogue:acquires pairsShard
+//enblogue:acquires tier
 func (tr *ShardedTracker) sweepLocked() {
 	tr.sinceGC.Store(0)
 	now := tr.now()
@@ -302,8 +375,11 @@ func (tr *ShardedTracker) sweepLocked() {
 		return
 	}
 	// Still over budget: rank all pairs globally and evict the smallest,
-	// with the same ordering every tracker uses (evictSmallest).
-	all := make([]counted[Key], 0, tr.npairs.Load())
+	// with the same ordering every tracker uses (evictSmallest). Victims
+	// are collected (not demoted) inside the drop closure: demotion takes
+	// each tail's tier lock (order 45), which must never be acquired while
+	// a shard lock (order 50) is held.
+	all := tr.sweepAll[:0]
 	for _, sh := range tr.shards {
 		sh.mu.Lock()
 		//enblogue:unordered collects every pair; evictSmallest ranks by (count, key), a strict total order independent of input order
@@ -312,14 +388,195 @@ func (tr *ShardedTracker) sweepLocked() {
 		}
 		sh.mu.Unlock()
 	}
-	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key) {
+	victims := tr.sweepVictims[:0]
+	seeds := tr.sweepSeeds[:0]
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key, count float64) {
 		sh := tr.shards[k.Shard(len(tr.shards))]
 		sh.mu.Lock()
 		if slot, ok := sh.slots[k]; ok {
+			seed := sh.approx[k] // zero for never-promoted pairs
 			tr.dropLocked(sh, k, slot)
+			sh.evicted.Add(1)
+			victims = append(victims, counted[Key]{k, count})
+			seeds = append(seeds, seed)
 		}
 		sh.mu.Unlock()
 	})
+	tr.sweepAll, tr.sweepVictims, tr.sweepSeeds = all, victims, seeds
+	if len(victims) == 0 {
+		return
+	}
+	// Victims arrive smallest-first, so the last one defines the admission
+	// floor: the count a tail pair's estimate must beat to earn its way
+	// back into the exact tier.
+	tr.floorBits.Store(math.Float64bits(victims[len(victims)-1].v))
+	if tr.tails != nil {
+		// Demote with no shard lock held (only sweepMu): sweepMu (40) →
+		// tier (45) is an ascending acquisition. Victim order is the
+		// deterministic eviction order, so per-shard summary contents are
+		// replay-identical too. A victim whose counter was sketch-seeded
+		// demotes only its excess over the seed — the seed's mass is still
+		// resident in the sketch, and re-adding it would double the
+		// estimate on every promote→evict cycle until inflated tail pairs
+		// crowd out genuinely heavy ones. The floor of one event keeps the
+		// pair in the heavy-hitter summary (and so promotable) even when
+		// nothing new was observed; the overshoot stays on the safe,
+		// upper-bound side.
+		nowNano := tr.nowNano.Load()
+		for i, v := range victims {
+			amt := v.v
+			if seeds[i] > 0 {
+				if amt = amt - seeds[i]; amt < 1 {
+					amt = 1
+				}
+			}
+			s := v.key.Shard(len(tr.shards))
+			tr.tails[s].Demote(nowNano, v.key.packed, uint64(amt))
+			tr.shards[s].demoted.Add(1)
+		}
+	}
+	if tr.onEvict != nil {
+		for _, v := range victims {
+			tr.onEvict(v.key, v.v)
+		}
+	}
+}
+
+// PromoteTail re-admits every tail pair whose windowed estimate strictly
+// exceeds the admission floor, seeding its exact counter with the estimate
+// (an upper bound — see internal/tier) at the bucket containing t and
+// flagging it approximate. Promotions are capped at the tracker's current
+// headroom under MaxPairs, best estimates first (ties broken by rendered
+// key order, like eviction), so a promotion burst cannot blow the memory
+// budget and then thrash the next sweep. Promoted keys leave the tail
+// summaries; their sketch mass decays on the generation schedule. Returns
+// the number of pairs promoted. The engine calls this at tick time, before
+// evaluation snapshots, so promoted pairs are scored in the same tick.
+//
+//enblogue:acquires tier
+//enblogue:acquires pairsShard
+func (tr *ShardedTracker) PromoteTail(t time.Time) int {
+	if tr.tails == nil {
+		return 0
+	}
+	headroom := tr.cfg.MaxPairs - int(tr.npairs.Load())
+	if headroom <= 0 {
+		return 0
+	}
+	nowNano := tr.nowNano.Load()
+	if nowNano == 0 {
+		// No document observed yet: the tail is necessarily empty.
+		return 0
+	}
+	floor := uint64(tr.floor())
+	var cands []tier.Candidate
+	for _, tl := range tr.tails {
+		cands = tl.AppendCandidates(nowNano, floor, cands)
+	}
+	if len(cands) == 0 {
+		return 0
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Est != cands[j].Est {
+			return cands[i].Est > cands[j].Est
+		}
+		return Key{packed: cands[i].Key}.Less(Key{packed: cands[j].Key})
+	})
+	if len(cands) > headroom {
+		cands = cands[:headroom]
+	}
+	abs := nowNano / int64(tr.cfg.Resolution)
+	for _, c := range cands {
+		k := Key{packed: c.Key}
+		s := k.Shard(len(tr.shards))
+		sh := tr.shards[s]
+		sh.mu.Lock()
+		slot, ok := sh.slots[k]
+		if !ok {
+			slot = sh.arena.Alloc()
+			sh.slots[k] = slot
+			for int(slot) >= len(sh.keys) {
+				sh.keys = append(sh.keys, Key{})
+			}
+			sh.keys[slot] = k
+			tr.npairs.Add(1)
+		}
+		// If the pair re-emerged on its own since demotion, the counter
+		// holds only post-eviction events; the estimate covers the
+		// pre-eviction mass, so adding keeps the seeded total an upper
+		// bound on the true windowed count.
+		sh.arena.AddAbs(slot, abs, float64(c.Est))
+		if sh.approx == nil {
+			sh.approx = make(map[Key]float64)
+		}
+		// Accumulate, not assign: a pair promoted twice without an eviction
+		// in between (impossible today — Remove gates re-candidacy on a
+		// fresh demotion — but cheap to keep correct) carries both seeds.
+		sh.approx[k] += float64(c.Est)
+		sh.mu.Unlock()
+		tr.tails[s].Remove(c.Key)
+	}
+	tr.promotions.Add(int64(len(cands)))
+	return len(cands)
+}
+
+// ApproxSeeded reports whether pair k is currently tracked with a counter
+// seeded from a tail-tier estimate (an upper bound, not an exact count).
+//
+//enblogue:acquires pairsShard
+func (tr *ShardedTracker) ApproxSeeded(k Key) bool {
+	sh := tr.shards[k.Shard(len(tr.shards))]
+	sh.mu.Lock()
+	_, ok := sh.approx[k]
+	sh.mu.Unlock()
+	return ok
+}
+
+// TailStats is a point-in-time view of the cold tier and the eviction
+// counters feeding it, aggregated across shards. The per-shard slices are
+// always populated (eviction counting predates the tier and works with it
+// disabled); the tier fields are zero when Enabled is false.
+type TailStats struct {
+	Enabled           bool
+	TailPairs         int     // distinct pairs in the live tail summaries
+	Epsilon           float64 // configured Count-Min error fraction
+	ErrorBound        float64 // epsilon × live windowed tail mass
+	Promotions        int64   // lifetime tail→exact promotions
+	ApproxSeededPairs int     // tracked pairs whose counters are sketch-seeded
+	EvictedByShard    []int64 // lifetime over-budget evictions per shard
+	DemotedByShard    []int64 // of those, absorbed by the tail, per shard
+}
+
+// TailStats returns the current tier statistics. Safe for concurrent use.
+//
+//enblogue:acquires tier
+//enblogue:acquires pairsShard
+func (tr *ShardedTracker) TailStats() TailStats {
+	ts := TailStats{
+		EvictedByShard: make([]int64, len(tr.shards)),
+		DemotedByShard: make([]int64, len(tr.shards)),
+	}
+	for i, sh := range tr.shards {
+		ts.EvictedByShard[i] = sh.evicted.Load()
+		ts.DemotedByShard[i] = sh.demoted.Load()
+		sh.mu.Lock()
+		ts.ApproxSeededPairs += len(sh.approx)
+		sh.mu.Unlock()
+	}
+	if tr.tails == nil {
+		return ts
+	}
+	ts.Enabled = true
+	ts.Promotions = tr.promotions.Load()
+	var mass uint64
+	for _, tl := range tr.tails {
+		s := tl.Stats()
+		ts.TailPairs += s.Pairs
+		mass += s.Mass
+		ts.Epsilon = s.Epsilon
+	}
+	ts.ErrorBound = ts.Epsilon * float64(mass)
+	return ts
 }
 
 // Cooccurrence returns the number of windowed documents carrying both tags

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"enblogue/internal/intern"
+	"enblogue/internal/tier"
 	"enblogue/internal/window"
 )
 
@@ -25,6 +26,15 @@ type Config struct {
 	// Shards partitions the pair space for ShardedTracker; the serial
 	// Tracker ignores it. Zero or one means a single shard.
 	Shards int
+	// Tail, when non-nil, enables the cold tier (internal/tier) on the
+	// ShardedTracker: pairs evicted over MaxPairs are demoted into a
+	// per-shard windowed Count-Min sketch + heavy-hitter summary instead of
+	// being forgotten, and are promoted back — counter seeded from the
+	// upper-bound sketch estimate — when their estimate crosses the
+	// admission floor (PromoteTail). Tail.Span is ignored; the tracker sets
+	// it to its own window span so tail decay matches counter decay. Nil
+	// disables the tier: eviction forgets, exactly as before.
+	Tail *tier.Config
 }
 
 func (c *Config) withDefaults() Config {
@@ -130,11 +140,13 @@ func evictTarget(maxPairs int) int {
 
 // evictSmallest deletes the entries with the smallest counts (ties broken
 // by less on the keys, ascending) until at most keep remain, invoking drop
-// for each victim. Every tracker's over-budget eviction routes through here
-// so the ordering stays identical across the serial, sharded, and
-// distribution paths — the sharded engine's bit-identical-rankings
-// guarantee depends on it.
-func evictSmallest[K any](all []counted[K], keep int, less func(a, b K) bool, drop func(K)) {
+// for each victim with its windowed count — the count is what the tail
+// tier absorbs on demotion, and victims arrive smallest-first so the last
+// drop carries the admission floor. Every tracker's over-budget eviction
+// routes through here so the ordering stays identical across the serial,
+// sharded, and distribution paths — the sharded engine's
+// bit-identical-rankings guarantee depends on it.
+func evictSmallest[K any](all []counted[K], keep int, less func(a, b K) bool, drop func(K, float64)) {
 	if len(all) <= keep {
 		return
 	}
@@ -145,7 +157,7 @@ func evictSmallest[K any](all []counted[K], keep int, less func(a, b K) bool, dr
 		return less(all[i].key, all[j].key)
 	})
 	for _, e := range all[:len(all)-keep] {
-		drop(e.key)
+		drop(e.key, e.v)
 	}
 }
 
@@ -165,6 +177,14 @@ type Tracker struct {
 	arena   *window.CounterArena
 	now     time.Time
 	sinceGC int
+	evicted int64
+
+	// onEvict, when set, observes every over-budget eviction with the
+	// victim's windowed count at eviction time — the seam the cold tier
+	// (and tests cross-validating sketch estimates against ground truth)
+	// hang off. Emptied-window drops are not reported: their count is zero,
+	// there is nothing to remember.
+	onEvict func(Key, float64)
 
 	// per-document scratch, reused so steady-state Observe allocates
 	// nothing.
@@ -250,11 +270,22 @@ func (tr *Tracker) maybeSweep() {
 	for k, slot := range tr.slots {
 		all = append(all, counted[Key]{k, tr.arena.Value(slot)})
 	}
-	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key) {
+	evictSmallest(all, evictTarget(tr.cfg.MaxPairs), keyLess, func(k Key, count float64) {
 		tr.arena.Release(tr.slots[k])
 		delete(tr.slots, k)
+		tr.evicted++
+		if tr.onEvict != nil {
+			tr.onEvict(k, count)
+		}
 	})
 }
+
+// SetOnEvict installs the eviction observer; see the field doc. Must be
+// set before the first Observe.
+func (tr *Tracker) SetOnEvict(fn func(Key, float64)) { tr.onEvict = fn }
+
+// Evicted returns the lifetime count of over-budget evictions.
+func (tr *Tracker) Evicted() int64 { return tr.evicted }
 
 // Cooccurrence returns the number of windowed documents carrying both tags
 // of the pair.
@@ -436,7 +467,7 @@ func (dt *DistTracker) sweep() {
 			all = append(all, counted[distKey]{distKey{tag, co}, c.Value()})
 		}
 	}
-	evictSmallest(all, evictTarget(dt.cfg.MaxPairs), distKeyLess, func(k distKey) {
+	evictSmallest(all, evictTarget(dt.cfg.MaxPairs), distKeyLess, func(k distKey, _ float64) {
 		delete(dt.byTag[k.tag], k.co)
 		if len(dt.byTag[k.tag]) == 0 {
 			delete(dt.byTag, k.tag)

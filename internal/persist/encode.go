@@ -41,6 +41,16 @@ var crcTable = crc64.MakeTable(crc64.ECMA)
 // excluded: state snapshotted at one shard count restores at any other
 // (rankings are shard-count-independent), and the Tagger only matters at
 // ingest time, where WAL replay re-runs it on the raw logged items.
+//
+// The tiered sketch tail (Config.TailSketch) is likewise excluded, from
+// both the fingerprint and the snapshot payload — a deliberate cold-start-
+// empty decision. The tail holds only upper-bound estimates for already-
+// evicted pairs; every value the scorer reads lives in the exact tier,
+// which round-trips bit-identically. Restoring an empty tail costs at most
+// a delayed re-promotion of a tail pair that must re-earn its estimate,
+// and in exchange snapshots stay byte-identical whether or not the tier is
+// enabled, and pre-tier snapshots restore into tier-enabled engines (and
+// vice versa) with no format change.
 type fingerprint struct {
 	WindowBuckets    int64
 	WindowResolution int64

@@ -428,3 +428,87 @@ func TestWALRecordRoundTrip(t *testing.T) {
 		}
 	}
 }
+
+// tailConfig is testConfig with the tiered sketch tail enabled and a
+// MaxPairs cap small enough that the test workload overflows it, so the
+// tail actually absorbs demotions.
+func tailConfig(shards int) core.Config {
+	cfg := testConfig(shards)
+	cfg.MaxPairs = 200
+	cfg.TailSketch = core.TailSketchConfig{
+		Enabled: true, Epsilon: 0.01, Delta: 0.01, TopK: 128,
+	}
+	return cfg
+}
+
+// TestTailSketchColdStartEmpty pins the tier persistence decision: the
+// sketch tail is excluded from snapshots (and from the config fingerprint,
+// see encode.go). The exact tier round-trips bit-identically while the
+// recovered tail starts empty — estimates are upper bounds over already-
+// evicted mass, not durable state.
+func TestTailSketchColdStartEmpty(t *testing.T) {
+	items := testItems(t)
+	dir := t.TempDir()
+
+	a := core.New(durableConfig(tailConfig(2), dir))
+	a.ConsumeBatch(items)
+	if before := a.TailStats(); !before.Enabled || before.TailPairs == 0 {
+		t.Fatalf("workload never populated the tail: %+v", before)
+	}
+	if err := a.Snapshot(); err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	a.Close()
+
+	b := core.New(durableConfig(tailConfig(2), dir))
+	defer b.Close()
+	// The exact tier restores bit-identically to an engine that never
+	// stopped...
+	ref := core.New(tailConfig(2))
+	ref.ConsumeBatch(items)
+	mustEqualState(t, ref, b)
+	// ...while the tail cold-starts empty.
+	if after := b.TailStats(); after.TailPairs != 0 || after.Promotions != 0 {
+		t.Fatalf("recovered tail not empty: %+v", after)
+	}
+}
+
+// TestTailSketchFingerprintCompatible crosses the tier-enabled/disabled
+// boundary in both directions: the tail is not part of the snapshot
+// fingerprint, so pre-tier snapshots restore into tier-enabled engines and
+// vice versa with no format change.
+func TestTailSketchFingerprintCompatible(t *testing.T) {
+	items := testItems(t)
+	exact := func(shards int) core.Config {
+		cfg := tailConfig(shards)
+		cfg.TailSketch = core.TailSketchConfig{}
+		return cfg
+	}
+
+	for _, tc := range []struct {
+		name        string
+		write, read func(int) core.Config
+	}{
+		{"exact-into-tiered", exact, tailConfig},
+		{"tiered-into-exact", tailConfig, exact},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			a := core.New(durableConfig(tc.write(2), dir))
+			a.ConsumeBatch(items[:1000])
+			if err := a.Snapshot(); err != nil {
+				t.Fatalf("Snapshot: %v", err)
+			}
+			a.Close()
+
+			b := core.New(durableConfig(tc.read(2), dir))
+			defer b.Close()
+			if got, want := b.DocsProcessed(), int64(1000); got != want {
+				t.Fatalf("recovered %d docs, want %d", got, want)
+			}
+			if st, ok := b.DurabilityStats(); !ok || st.LastErr != "" {
+				t.Fatalf("recovery not clean: ok=%v lastErr=%q", ok, st.LastErr)
+			}
+		})
+	}
+}

@@ -421,8 +421,19 @@ type StatsView struct {
 	WALSegments     int       `json:"walSegments"`
 	WALBytes        int64     `json:"walBytes"`
 	LastSnapshotAt  time.Time `json:"lastSnapshotAt"`
-	Tenant          string    `json:"tenant"`
-	Uptime          float64   `json:"uptime"`
+	// Tiered exact/sketch memory model (WithTailSketch). The per-shard
+	// eviction counters are live even with the tier disabled; the tier
+	// fields are zero then.
+	TailEnabled         bool    `json:"tailEnabled"`
+	TailPairs           int     `json:"tailPairs"`
+	TailEpsilon         float64 `json:"tailEpsilon"`
+	EstimatedErrorBound float64 `json:"estimatedErrorBound"`
+	Promotions          int64   `json:"promotions"`
+	ApproxSeededPairs   int     `json:"approxSeededPairs"`
+	EvictedByShard      []int64 `json:"evictedByShard"`
+	DemotedByShard      []int64 `json:"demotedByShard"`
+	Tenant              string  `json:"tenant"`
+	Uptime              float64 `json:"uptime"`
 }
 
 // toViews converts topics to wire form.
@@ -611,6 +622,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 				view.WALBytes = ds.WALBytes
 				view.LastSnapshotAt = ds.LastSnapshotAt
 			}
+		}
+		// The tiered tail is likewise optional on the Engine interface; the
+		// per-shard eviction counters are populated even when the tier is
+		// disabled (TailEnabled false, tier fields zero).
+		if tt, ok := e.(interface{ TailStats() core.TailStats }); ok {
+			ts := tt.TailStats()
+			view.TailEnabled = ts.Enabled
+			view.TailPairs = ts.TailPairs
+			view.TailEpsilon = ts.Epsilon
+			view.EstimatedErrorBound = ts.ErrorBound
+			view.Promotions = ts.Promotions
+			view.ApproxSeededPairs = ts.ApproxSeededPairs
+			view.EvictedByShard = ts.EvictedByShard
+			view.DemotedByShard = ts.DemotedByShard
 		}
 	}
 	w.Header().Set("Content-Type", "application/json")

@@ -10,21 +10,49 @@ package sketch
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"sort"
 )
 
-// hash64 returns the FNV-1a hash of s salted with the given row salt.
+// FNV-1a constants (hash/fnv), inlined so the hash loops below stay
+// allocation-free.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hash64 returns the FNV-1a hash of s salted with the given row salt. The
+// loop is hand-rolled instead of using hash/fnv because fnv.New64a heap-
+// allocates the hash state and h.Write([]byte(s)) copies the string — two
+// allocations per call on what used to be the only ingest path. The digest
+// is bit-identical to the previous hash/fnv implementation (salt bytes
+// little-endian first, then the string bytes), so sketch contents are
+// unchanged. Zero allocations, pinned by TestSketchHashZeroAlloc.
 func hash64(s string, salt uint64) uint64 {
-	h := fnv.New64a()
-	var b [8]byte
+	h := uint64(fnvOffset64)
 	for i := 0; i < 8; i++ {
-		b[i] = byte(salt >> (8 * i))
+		h ^= (salt >> (8 * i)) & 0xff
+		h *= fnvPrime64
 	}
-	h.Write(b[:])
-	h.Write([]byte(s))
-	return h.Sum64()
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// hashU64 hashes an already-interned 64-bit key (a packed pairs.Key) with a
+// per-row salt using the splitmix64 finaliser. This is the tier's hot-path
+// hash: demoted pairs arrive as packed uint64s, so no string is ever formed
+// or hashed. Interned IDs are assigned in first-appearance order on a
+// sequentially consumed stream, so the packed key — and therefore every row
+// index derived here — is itself deterministic across replays (DESIGN.md
+// §12). Zero allocations, pinned by TestSketchHashZeroAlloc.
+func hashU64(key, salt uint64) uint64 {
+	z := key + (salt+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
 }
 
 // CountMin is a Count-Min sketch: a depth × width matrix of counters. Count
@@ -80,6 +108,38 @@ func (c *CountMin) Count(key string) uint64 {
 	}
 	return min
 }
+
+// AddU64 increments the count of an already-interned 64-bit key by n. This
+// is the zero-allocation ingest path used by the tail tier: the key is a
+// packed pairs.Key, hashed with splitmix64 rather than string FNV.
+//
+//enblogue:hotpath
+func (c *CountMin) AddU64(key uint64, n uint64) {
+	for i := 0; i < c.depth; i++ {
+		j := hashU64(key, uint64(i)) % uint64(c.width)
+		c.rows[i][j] += n
+	}
+	c.total += n
+}
+
+// CountU64 returns the estimated count of a 64-bit key (never an
+// underestimate).
+//
+//enblogue:hotpath
+func (c *CountMin) CountU64(key uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := 0; i < c.depth; i++ {
+		j := hashU64(key, uint64(i)) % uint64(c.width)
+		if v := c.rows[i][j]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Epsilon returns the additive-error fraction of the sketch: estimates
+// exceed true counts by at most Epsilon × Total with probability 1-δ.
+func (c *CountMin) Epsilon() float64 { return math.E / float64(c.width) }
 
 // Total returns the total mass added to the sketch.
 func (c *CountMin) Total() uint64 { return c.total }
@@ -182,10 +242,13 @@ func (t *TopK) Add(key string) {
 		t.counts[key] = &Entry{Key: key, Count: 1}
 		return
 	}
-	// Evict the current minimum and inherit its count as error bound.
+	// Evict the current minimum and inherit its count as error bound. Ties
+	// on Count break on the key so the victim is a function of the summary
+	// contents, not of randomised map iteration order.
 	var min *Entry
+	//enblogue:unordered min selection under the (Count, Key) total order is iteration-order independent
 	for _, e := range t.counts {
-		if min == nil || e.Count < min.Count {
+		if min == nil || e.Count < min.Count || (e.Count == min.Count && e.Key < min.Key) {
 			min = e
 		}
 	}
@@ -197,6 +260,7 @@ func (t *TopK) Add(key string) {
 // ties broken by key for determinism.
 func (t *TopK) Entries() []Entry {
 	out := make([]Entry, 0, len(t.counts))
+	//enblogue:unordered collect-then-sort: the slice is fully ordered below
 	for _, e := range t.counts {
 		out = append(out, *e)
 	}

@@ -85,6 +85,28 @@ func WithMaxPairs(n int) Option {
 	return func(c *core.Config) { c.MaxPairs = n }
 }
 
+// WithTailSketch enables the tiered exact/sketch memory model for
+// unbounded tag vocabularies: pairs evicted by the MaxPairs cap are demoted
+// into a windowed Count-Min sketch (additive error at most epsilon × tail
+// mass with probability 1−delta) plus a Space-Saving heavy-hitter summary
+// of topK candidates per shard, and are promoted back into the exact tier —
+// counter seeded from the upper-bound estimate, flagged approximate — when
+// their estimated count crosses the admission floor. Memory stays bounded
+// by MaxPairs + the fixed sketch size no matter how many distinct tags the
+// stream carries. Out-of-range epsilon/delta fall back to 0.01, topK < 1 to
+// 512. Tier statistics (tailPairs, estimatedErrorBound, promotions, …)
+// appear in /v1 stats and Engine.TailStats.
+func WithTailSketch(epsilon, delta float64, topK int) Option {
+	return func(c *core.Config) {
+		c.TailSketch = core.TailSketchConfig{
+			Enabled: true,
+			Epsilon: epsilon,
+			Delta:   delta,
+			TopK:    topK,
+		}
+	}
+}
+
 // WithShards partitions the pair space for concurrent tracking and
 // parallel tick evaluation. Rankings do not depend on the shard count on a
 // sequentially consumed stream, so this is purely a throughput knob

@@ -13,10 +13,13 @@ cd "$(dirname "$0")/.."
 # The default matrix records ingest throughput (BenchmarkThroughput*),
 # subscription-dispatch cost (BenchmarkBroadcastSubscribers: population
 # × matched-fraction; the 1%-matched column must stay ≥10× cheaper than
-# 100%-matched), and the durability costs (BenchmarkWALAppend: ingest with
+# 100%-matched), the durability costs (BenchmarkWALAppend: ingest with
 # the WAL off vs. on; BenchmarkSnapshotRestore: snapshot write and full
-# recovery).
-bench="${1:-BenchmarkThroughput|BenchmarkBroadcastSubscribers|BenchmarkWALAppend|BenchmarkSnapshotRestore}"
+# recovery), and the tiered-memory accuracy/footprint trade
+# (BenchmarkTieredAccuracy: recall@100 and bytes/pair per MaxPairs ×
+# sketch-epsilon cell; the tailed cells must beat exact-only recall at
+# the same budget).
+bench="${1:-BenchmarkThroughput|BenchmarkBroadcastSubscribers|BenchmarkWALAppend|BenchmarkSnapshotRestore|BenchmarkTieredAccuracy}"
 out="BENCH_$(date -u +%F).json"
 # Never clobber an existing (possibly committed, possibly hand-annotated)
 # record: same-day reruns get a time-suffixed file instead.
